@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation (Sections 2.1.4-2.1.5) — predictor configurations.
+ *
+ * Four POM-TLB variants per workload:
+ *   both        size + bypass predictors on (the paper's design);
+ *   no-bypass   size predictor only (always probe the caches);
+ *   no-size     bypass only (always try the 4 KB partition first);
+ *   neither     no prediction at all.
+ *
+ * The metric is the average post-L2-TLB-miss penalty: the bypass
+ * predictor trades wasted cache probes against wasted DRAM trips,
+ * and the size predictor removes most second-partition lookups.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+const char *const workloads[] = {"mcf", "zeusmp", "gups", "soplex"};
+
+double
+penaltyWith(const BenchmarkProfile &profile, bool size_predictor,
+            bool bypass_predictor)
+{
+    ExperimentConfig config = figureConfig();
+    config.system.pomTlb.sizePredictor = size_predictor;
+    config.system.pomTlb.bypassPredictor = bypass_predictor;
+    const SchemeRunSummary summary =
+        runScheme(profile, SchemeKind::PomTlb, config);
+    return summary.avgPenaltyPerMiss;
+}
+
+void
+runBypass(::benchmark::State &state, const BenchmarkProfile &profile)
+{
+    for (auto _ : state) {
+        const double both = penaltyWith(profile, true, true);
+        const double no_bypass = penaltyWith(profile, true, false);
+        const double no_size = penaltyWith(profile, false, true);
+        const double neither = penaltyWith(profile, false, false);
+        state.counters["both"] = both;
+        state.counters["no_bypass"] = no_bypass;
+        collector().record(profile.name,
+                           {{"both (cyc/miss)", both},
+                            {"no-bypass", no_bypass},
+                            {"no-size", no_size},
+                            {"neither", neither}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *name : workloads) {
+        const BenchmarkProfile &profile =
+            ProfileRegistry::byName(name);
+        ::benchmark::RegisterBenchmark(
+            (std::string("abl_predictors/") + name).c_str(),
+            [&profile](::benchmark::State &state) {
+                runBypass(state, profile);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return pomtlb::bench::benchMain(
+        argc, argv, "Ablation (Sections 2.1.4-2.1.5)",
+        "Average miss penalty under predictor configurations", 1);
+}

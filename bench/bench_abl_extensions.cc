@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation — the paper's proposed extensions, measured:
+ *
+ *   paper      the Section 2 design as evaluated in the paper;
+ *   +tlb-aware Section 5.1: caches retain POM-TLB lines over data;
+ *   +prefetch  Section 6: prefetch the adjacent page's set line;
+ *   unified    footnote 1: one skew-indexed array, no partitions;
+ *   all        tlb-aware + prefetch on the partitioned design.
+ *
+ * Metric: average post-L2-TLB-miss penalty (lower is better).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+const char *const workloads[] = {"mcf",  "lbm",   "gups",
+                                 "astar", "zeusmp", "canneal"};
+
+double
+penaltyWith(const BenchmarkProfile &profile, bool tlb_aware,
+            bool prefetch, bool unified)
+{
+    ExperimentConfig config = figureConfig();
+    config.system.tlbAwareCaching = tlb_aware;
+    config.system.pomTlb.prefetchNextSet = prefetch;
+    config.system.pomTlb.unifiedOrganization = unified;
+    return runScheme(profile, SchemeKind::PomTlb, config)
+        .avgPenaltyPerMiss;
+}
+
+void
+runExtensions(::benchmark::State &state,
+              const BenchmarkProfile &profile)
+{
+    for (auto _ : state) {
+        const double paper = penaltyWith(profile, false, false, false);
+        const double aware = penaltyWith(profile, true, false, false);
+        const double prefetch =
+            penaltyWith(profile, false, true, false);
+        const double unified =
+            penaltyWith(profile, false, false, true);
+        const double all = penaltyWith(profile, true, true, false);
+        state.counters["paper"] = paper;
+        state.counters["all"] = all;
+        collector().record(profile.name,
+                           {{"paper (cyc/miss)", paper},
+                            {"+tlb-aware", aware},
+                            {"+prefetch", prefetch},
+                            {"unified", unified},
+                            {"all", all}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *name : workloads) {
+        const BenchmarkProfile &profile =
+            ProfileRegistry::byName(name);
+        ::benchmark::RegisterBenchmark(
+            (std::string("abl_extensions/") + name).c_str(),
+            [&profile](::benchmark::State &state) {
+                runExtensions(state, profile);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return pomtlb::bench::benchMain(
+        argc, argv, "Ablation (Sections 5.1, 6, footnote 1)",
+        "Average miss penalty with the paper's proposed extensions",
+        1);
+}

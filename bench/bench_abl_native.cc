@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (Section 1) — POM-TLB under *native* execution.
+ *
+ * The introduction claims "many benchmarks spend up to 14% execution
+ * time in translation even in the bare metal case and hence will
+ * benefit from the proposed scheme which improves both native and
+ * virtualized cases." This bench runs the Figure 8 methodology in
+ * native mode (1D walks, Table 2's native overhead column).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+void
+runNative(::benchmark::State &state, const BenchmarkProfile &profile)
+{
+    ExperimentConfig native = figureConfig();
+    native.system.mode = ExecMode::Native;
+    ExperimentConfig virt = figureConfig();
+
+    for (auto _ : state) {
+        const SchemeRunSummary native_base = runScheme(
+            profile, SchemeKind::NestedWalk, native);
+        const double native_imp = pomImprovementOnly(profile, native);
+        const double virt_imp = pomImprovementOnly(profile, virt);
+        state.counters["native_pct"] = native_imp;
+        state.counters["virtualized_pct"] = virt_imp;
+        collector().record(
+            profile.name,
+            {{"native improvement (%)", native_imp},
+             {"virtualized improvement (%)", virt_imp},
+             {"native cyc/miss (sim)",
+              native_base.avgPenaltyPerMiss},
+             {"native cyc/miss (paper)",
+              profile.cyclesPerMissNative}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pomtlb::bench::registerPerWorkload("abl_native", runNative);
+    return pomtlb::bench::benchMain(
+        argc, argv, "Ablation (Section 1, native mode)",
+        "POM-TLB improvement under native vs virtualized execution");
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation (Section 2.2) — TLB-shootdown sensitivity.
+ *
+ * The paper adopts a mostly-inclusive consistency design and argues
+ * that because shootdowns are rare, keeping the POM-TLB coherent
+ * costs little. This bench quantifies "rare": shootdowns are
+ * injected every N references (a page dropped machine-wide plus an
+ * IPI/handler charge) and the POM-TLB's average miss penalty is
+ * tracked as N shrinks.
+ */
+
+#include "bench_common.hh"
+
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+const char *const workloads[] = {"mcf", "canneal", "gups"};
+
+double
+penaltyAtInterval(const BenchmarkProfile &profile,
+                  std::uint64_t interval)
+{
+    ExperimentConfig config = figureConfig();
+    config.engine.shootdownIntervalRefs = interval;
+    Machine machine(config.system, SchemeKind::PomTlb);
+    SimulationEngine engine(machine, profile, config.engine);
+    return engine.run().avgPenaltyPerMiss();
+}
+
+void
+runShootdown(::benchmark::State &state,
+             const BenchmarkProfile &profile)
+{
+    for (auto _ : state) {
+        const double none = penaltyAtInterval(profile, 0);
+        const double rare = penaltyAtInterval(profile, 50000);
+        const double common = penaltyAtInterval(profile, 5000);
+        const double storm = penaltyAtInterval(profile, 500);
+        state.counters["none"] = none;
+        state.counters["storm"] = storm;
+        collector().record(
+            profile.name,
+            {{"no shootdowns (cyc/miss)", none},
+             {"1 per 50k refs", rare},
+             {"1 per 5k refs", common},
+             {"1 per 500 refs", storm}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *name : workloads) {
+        const BenchmarkProfile &profile =
+            ProfileRegistry::byName(name);
+        ::benchmark::RegisterBenchmark(
+            (std::string("abl_shootdown/") + name).c_str(),
+            [&profile](::benchmark::State &state) {
+                runShootdown(state, profile);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return pomtlb::bench::benchMain(
+        argc, argv, "Ablation (Section 2.2)",
+        "POM-TLB miss penalty vs TLB-shootdown rate", 1);
+}

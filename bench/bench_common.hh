@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table bench binaries.
+ *
+ * Every bench registers one google-benchmark entry per workload (so
+ * wall-time per experiment is measured and reported) and accumulates
+ * the figure's data points; after the benchmark run, main() prints
+ * the rows/series the paper reports for that figure, plus a CSV block
+ * for external plotting.
+ *
+ * Environment:
+ *  - POMTLB_QUICK=1      shrink run lengths for smoke testing;
+ *  - POMTLB_CSV=1        also emit CSV;
+ *  - POMTLB_CORES=<n>    override the Table 1 core count.
+ */
+
+#ifndef POMTLB_BENCH_BENCH_COMMON_HH
+#define POMTLB_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+#include "trace/profile.hh"
+
+namespace pomtlb
+{
+namespace bench
+{
+
+/** The standard experiment configuration for the figure benches. */
+inline ExperimentConfig
+figureConfig()
+{
+    ExperimentConfig config = defaultExperimentConfig();
+    if (const char *cores = std::getenv("POMTLB_CORES"))
+        config.system.numCores = std::atoi(cores);
+    return config;
+}
+
+/** Whether to also print CSV. */
+inline bool
+csvRequested()
+{
+    return std::getenv("POMTLB_CSV") != nullptr;
+}
+
+/** Accumulates one figure's per-benchmark rows in figure order. */
+class FigureCollector
+{
+  public:
+    void
+    record(const std::string &benchmark,
+           std::vector<std::pair<std::string, double>> values)
+    {
+        order.push_back(benchmark);
+        rows[benchmark] = std::move(values);
+    }
+
+    bool
+    has(const std::string &benchmark) const
+    {
+        return rows.count(benchmark) != 0;
+    }
+
+    /** Print the aligned table plus geomean/average summary rows. */
+    void
+    print(const std::string &figure_id,
+          const std::string &description, int precision = 2) const
+    {
+        printExperimentHeader(std::cout, figure_id, description);
+        if (order.empty()) {
+            std::cout << "(no data)\n";
+            return;
+        }
+
+        std::vector<std::string> headers = {"benchmark"};
+        for (const auto &value : rows.at(order.front()))
+            headers.push_back(value.first);
+
+        ResultTable table(headers);
+        std::map<std::string, std::vector<double>> columns;
+        for (const auto &name : order) {
+            std::vector<std::string> cells = {name};
+            for (const auto &value : rows.at(name)) {
+                cells.push_back(
+                    ResultTable::num(value.second, precision));
+                columns[value.first].push_back(value.second);
+            }
+            table.addRow(std::move(cells));
+        }
+
+        // Arithmetic-mean summary row (the paper quotes averages and
+        // geomeans; geomean is undefined for non-positive values, so
+        // the mean is the universally printable summary).
+        std::vector<std::string> mean_row = {"average"};
+        for (std::size_t c = 1; c < headers.size(); ++c) {
+            const auto &column = columns[headers[c]];
+            double sum = 0.0;
+            for (double v : column)
+                sum += v;
+            mean_row.push_back(ResultTable::num(
+                column.empty() ? 0.0 : sum / column.size(),
+                precision));
+        }
+        table.addRow(std::move(mean_row));
+
+        table.print(std::cout);
+        if (csvRequested()) {
+            std::cout << "\n[csv]\n";
+            table.printCsv(std::cout);
+        }
+        std::cout.flush();
+    }
+
+  private:
+    std::vector<std::string> order;
+    std::map<std::string,
+             std::vector<std::pair<std::string, double>>> rows;
+};
+
+/** The collector each bench binary fills. */
+inline FigureCollector &
+collector()
+{
+    static FigureCollector instance;
+    return instance;
+}
+
+/** Register one google-benchmark entry per workload. */
+inline void
+registerPerWorkload(const std::string &prefix,
+                    void (*func)(::benchmark::State &,
+                                 const BenchmarkProfile &))
+{
+    for (const auto &profile : ProfileRegistry::all()) {
+        ::benchmark::RegisterBenchmark(
+            (prefix + "/" + profile.name).c_str(),
+            [func, &profile](::benchmark::State &state) {
+                func(state, profile);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+}
+
+/** Standard bench main: run benchmarks, then print the figure. */
+inline int
+benchMain(int argc, char **argv, const std::string &figure_id,
+          const std::string &description, int precision = 2)
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    collector().print(figure_id, description, precision);
+    return 0;
+}
+
+} // namespace bench
+} // namespace pomtlb
+
+#endif // POMTLB_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 3 — Ratio of virtualized to native translation costs on the
+ * baseline machine.
+ *
+ * Expected shape (paper): every workload >= 1x; gups 1.5x, gcc 1.9x,
+ * lbm/mcf ~2.5x, ccomponent the extreme (26x).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+void
+runFig3(::benchmark::State &state, const BenchmarkProfile &profile)
+{
+    ExperimentConfig virt_config = figureConfig();
+    virt_config.system.mode = ExecMode::Virtualized;
+    ExperimentConfig native_config = figureConfig();
+    native_config.system.mode = ExecMode::Native;
+
+    for (auto _ : state) {
+        const SchemeRunSummary virt = runScheme(
+            profile, SchemeKind::NestedWalk, virt_config);
+        const SchemeRunSummary native = runScheme(
+            profile, SchemeKind::NestedWalk, native_config);
+        const double ratio =
+            native.avgPenaltyPerMiss > 0.0
+                ? virt.avgPenaltyPerMiss / native.avgPenaltyPerMiss
+                : 0.0;
+        state.counters["virt_native_ratio"] = ratio;
+        collector().record(
+            profile.name,
+            {{"virt cycles/miss", virt.avgPenaltyPerMiss},
+             {"native cycles/miss", native.avgPenaltyPerMiss},
+             {"ratio", ratio},
+             {"paper ratio",
+              profile.cyclesPerMissNative > 0.0
+                  ? profile.cyclesPerMissVirtual /
+                        profile.cyclesPerMissNative
+                  : 0.0}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pomtlb::bench::registerPerWorkload("fig03", runFig3);
+    return pomtlb::bench::benchMain(
+        argc, argv, "Figure 3",
+        "Ratio of Virtualized to Native Translation Costs");
+}

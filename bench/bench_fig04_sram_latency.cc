@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 4 — SRAM access latency vs. capacity (normalised to 16 KB),
+ * from the CACTI-style analytical model: the motivation for why the
+ * L2 TLB cannot simply be grown.
+ *
+ * Expected shape (paper): super-linear growth; multi-MB SRAM arrays
+ * are an order of magnitude slower than the 16 KB reference.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/cacti.hh"
+#include "analysis/report.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+
+constexpr std::uint64_t capacitiesKb[] = {
+    16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+};
+
+void
+BM_SramLatency(::benchmark::State &state)
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(state.range(0)) * 1024;
+    double normalized = 0.0;
+    for (auto _ : state)
+        normalized = SramLatencyModel::normalizedLatency(bytes);
+    state.counters["normalized_latency"] = normalized;
+    state.counters["access_ns"] =
+        SramLatencyModel::accessTimeNs(bytes);
+}
+
+} // namespace
+
+BENCHMARK(BM_SramLatency)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Arg(16384);
+
+int
+main(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+
+    printExperimentHeader(
+        std::cout, "Figure 4",
+        "SRAM Access Latency vs Capacity (normalised to 16 KB)");
+    ResultTable table(
+        {"capacity", "access (ns)", "normalized", "cycles @4GHz"});
+    for (const std::uint64_t kb : capacitiesKb) {
+        const std::uint64_t bytes = kb * 1024;
+        table.addRow(
+            {kb >= 1024 ? std::to_string(kb / 1024) + "MB"
+                        : std::to_string(kb) + "KB",
+             ResultTable::num(SramLatencyModel::accessTimeNs(bytes),
+                              2),
+             ResultTable::num(
+                 SramLatencyModel::normalizedLatency(bytes), 2),
+             std::to_string(
+                 SramLatencyModel::accessCycles(bytes, 4.0))});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 9 — Hit ratio of POM-TLB translation requests at each level
+ * that can serve them: the requesting core's L2D$, the shared L3D$
+ * (of requests that passed the L2D$), and the POM-TLB DRAM array (of
+ * requests that passed both caches).
+ *
+ * Expected shape (paper): L2D$ ~90% average, L3D$ lower, POM-TLB
+ * ~88% of the remainder; page walks nearly eliminated.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+void
+runFig9(::benchmark::State &state, const BenchmarkProfile &profile)
+{
+    const ExperimentConfig config = figureConfig();
+    for (auto _ : state) {
+        const SchemeRunSummary pom =
+            runScheme(profile, SchemeKind::PomTlb, config);
+        state.counters["l2d_service"] = pom.pomL2CacheServiceRate;
+        state.counters["l3d_service"] = pom.pomL3CacheServiceRate;
+        state.counters["pom_dram_service"] = pom.pomDramServiceRate;
+        collector().record(
+            profile.name,
+            {{"L2D$ hit", pom.pomL2CacheServiceRate},
+             {"L3D$ hit (of rest)", pom.pomL3CacheServiceRate},
+             {"POM-TLB hit (of rest)", pom.pomDramServiceRate},
+             {"walk fraction", pom.walkFraction}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pomtlb::bench::registerPerWorkload("fig09", runFig9);
+    return pomtlb::bench::benchMain(
+        argc, argv, "Figure 9",
+        "Hit Ratio of POM-TLB Requests by Serving Level (8 core)", 3);
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 10 — Accuracy of the page-size and cache-bypass predictors
+ * (8-core).
+ *
+ * Expected shape (paper): size predictor ~95% average; bypass
+ * predictor ~46% average with large variation across workloads.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+void
+runFig10(::benchmark::State &state, const BenchmarkProfile &profile)
+{
+    const ExperimentConfig config = figureConfig();
+    for (auto _ : state) {
+        const SchemeRunSummary pom =
+            runScheme(profile, SchemeKind::PomTlb, config);
+        state.counters["size_accuracy"] =
+            pom.sizePredictorAccuracy;
+        state.counters["bypass_accuracy"] =
+            pom.bypassPredictorAccuracy;
+        collector().record(
+            profile.name,
+            {{"size predictor", pom.sizePredictorAccuracy},
+             {"bypass predictor", pom.bypassPredictorAccuracy}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pomtlb::bench::registerPerWorkload("fig10", runFig10);
+    return pomtlb::bench::benchMain(
+        argc, argv, "Figure 10", "Predictor Accuracy (8 core)", 3);
+}

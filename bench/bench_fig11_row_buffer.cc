@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 11 — Row-buffer hit rate of the die-stacked DRAM channel
+ * housing the POM-TLB (8-core).
+ *
+ * Expected shape (paper): ~71% average; spatially-local workloads
+ * (streamcluster) near the top, scattered-access workloads lower.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+void
+runFig11(::benchmark::State &state, const BenchmarkProfile &profile)
+{
+    const ExperimentConfig config = figureConfig();
+    for (auto _ : state) {
+        const SchemeRunSummary pom =
+            runScheme(profile, SchemeKind::PomTlb, config);
+        state.counters["row_buffer_hit_rate"] =
+            pom.dieStackedRowBufferHitRate;
+        collector().record(
+            profile.name,
+            {{"row-buffer hit rate",
+              pom.dieStackedRowBufferHitRate},
+             {"POM DRAM share of requests",
+              (1.0 - pom.pomL2CacheServiceRate) *
+                  (1.0 - pom.pomL3CacheServiceRate)}});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pomtlb::bench::registerPerWorkload("fig11", runFig11);
+    return pomtlb::bench::benchMain(
+        argc, argv, "Figure 11",
+        "Row Buffer Hits in the L3 TLB die-stacked DRAM (8 core)", 3);
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Section 4.6 sensitivity — POM-TLB capacity (8 / 16 / 32 MB).
+ *
+ * Expected shape (paper): varying the capacity changes the
+ * improvement by less than one percentage point; workload footprints
+ * rarely exceed even the smallest configuration's reach.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+const char *const workloads[] = {"mcf", "gups", "canneal",
+                                 "streamcluster", "ccomponent"};
+
+void
+runCapacity(::benchmark::State &state,
+            const BenchmarkProfile &profile)
+{
+    for (auto _ : state) {
+        std::vector<std::pair<std::string, double>> row;
+        for (const std::uint64_t mb : {8, 16, 32}) {
+            ExperimentConfig config = figureConfig();
+            config.system.pomTlb.capacityBytes = mb << 20;
+            const double improvement =
+                pomImprovementOnly(profile, config);
+            row.emplace_back(std::to_string(mb) + "MB (%)",
+                             improvement);
+            state.counters[std::to_string(mb) + "MB"] = improvement;
+        }
+        row.emplace_back("max delta (pp)",
+                         std::abs(row[2].second - row[0].second));
+        collector().record(profile.name, std::move(row));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *name : workloads) {
+        const BenchmarkProfile &profile =
+            ProfileRegistry::byName(name);
+        ::benchmark::RegisterBenchmark(
+            (std::string("sens_capacity/") + name).c_str(),
+            [&profile](::benchmark::State &state) {
+                runCapacity(state, profile);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return pomtlb::bench::benchMain(
+        argc, argv, "Section 4.6 (capacity)",
+        "POM-TLB improvement vs capacity: 8/16/32 MB");
+}

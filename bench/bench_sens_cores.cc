@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Section 4.6 sensitivity — core count (4 / 8 / 32 cores).
+ *
+ * Expected shape (paper): the improvement stays approximately the
+ * same across core counts; the POM-TLB is large enough that nearly
+ * all page walks are eliminated regardless, and the per-core L2D$
+ * provides the bulk of the latency benefit at every count
+ * (footnote 3).
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+const char *const workloads[] = {"mcf", "gups", "astar", "canneal"};
+
+void
+runCores(::benchmark::State &state, const BenchmarkProfile &profile)
+{
+    for (auto _ : state) {
+        std::vector<std::pair<std::string, double>> row;
+        for (const unsigned cores : {4u, 8u, 32u}) {
+            ExperimentConfig config = figureConfig();
+            config.system.numCores = cores;
+            // Keep total simulated work bounded at 32 cores.
+            if (cores == 32) {
+                config.engine.refsPerCore /= 2;
+                config.engine.warmupRefsPerCore /= 2;
+            }
+            const double improvement =
+                pomImprovementOnly(profile, config);
+            row.emplace_back(
+                std::to_string(cores) + " cores (%)", improvement);
+            state.counters[std::to_string(cores) + "c"] =
+                improvement;
+        }
+        collector().record(profile.name, std::move(row));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const char *name : workloads) {
+        const BenchmarkProfile &profile =
+            ProfileRegistry::byName(name);
+        ::benchmark::RegisterBenchmark(
+            (std::string("sens_cores/") + name).c_str(),
+            [&profile](::benchmark::State &state) {
+                runCores(state, profile);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    return pomtlb::bench::benchMain(
+        argc, argv, "Section 4.6 (cores)",
+        "POM-TLB improvement vs core count: 4/8/32");
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Capacity explorer: how much part-of-memory TLB is enough?
+ *
+ * Sweeps the POM-TLB capacity from 1 MB to 64 MB for a chosen
+ * workload and reports walk elimination and projected speedup — the
+ * Section 4.6 sensitivity result, interactively. Also prints the
+ * TLB reach at each point for intuition (a 16 MB POM-TLB reaches
+ * ~2 GB of 4 KB pages; on-chip TLBs reach ~6 MB).
+ *
+ *   $ ./capacity_explorer [benchmark]    (default: gups)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/perf_model.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pomtlb;
+
+    const std::string name = argc > 1 ? argv[1] : "gups";
+    const BenchmarkProfile &profile = ProfileRegistry::byName(name);
+
+    ExperimentConfig config;
+    config.system.numCores = 4;
+    config.engine.refsPerCore = 40000;
+    config.engine.warmupRefsPerCore = 40000;
+
+    // One baseline run; its translation cycles anchor every ratio.
+    const SchemeRunSummary baseline =
+        runScheme(profile, SchemeKind::NestedWalk, config);
+
+    ResultTable table({"capacity", "4KB-page reach", "walk %",
+                       "cyc/miss", "speedup %"});
+
+    for (const std::uint64_t mb : {1, 2, 4, 8, 16, 32, 64}) {
+        config.system.pomTlb.capacityBytes = mb << 20;
+        const SchemeRunSummary pom =
+            runScheme(profile, SchemeKind::PomTlb, config);
+        const double ratio =
+            static_cast<double>(pom.translationCycles) /
+            static_cast<double>(baseline.translationCycles);
+        const double improvement = PerfModel::improvementPct(
+            profile, config.system.mode, ratio);
+
+        // Half the capacity holds 4 KB-page entries; each 16 B entry
+        // covers one 4 KB page.
+        const std::uint64_t reach_mb =
+            (config.system.pomTlb.smallPartitionBytes() / 16) * 4 /
+            1024;
+        table.addRow(
+            {std::to_string(mb) + "MB",
+             std::to_string(reach_mb / 1024) + "." +
+                 std::to_string((reach_mb % 1024) * 10 / 1024) +
+                 "GB",
+             ResultTable::num(100.0 * pom.walkFraction, 2),
+             ResultTable::num(pom.avgPenaltyPerMiss, 1),
+             ResultTable::num(improvement, 2)});
+    }
+
+    std::printf("POM-TLB capacity sweep on '%s' (%llu MB %s "
+                "footprint)\n\n",
+                profile.name.c_str(),
+                static_cast<unsigned long long>(
+                    profile.footprintBytes >> 20),
+                profile.multithreaded ? "shared" : "per-core");
+    table.print(std::cout);
+    std::printf("\nBeyond the knee, capacity stops mattering — the "
+                "paper's Section 4.6 finding\nthat 8/16/32 MB all "
+                "land within a percentage point.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mixed-tenant consolidation: different workloads in different VMs on
+ * one host — the cloud scenario the paper's introduction motivates
+ * (EC2/OpenStack-style hosts running heterogeneous guests).
+ *
+ * Cores 0-1 run mcf in VM 1; cores 2-3 run gups in VM 2. The engine
+ * is driven through heterogeneous per-core trace sources, showing the
+ * library's composition: any TraceSource mix can share one machine.
+ *
+ *   $ ./mixed_tenants
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+#include "trace/source.hh"
+
+int
+main()
+{
+    using namespace pomtlb;
+
+    SystemConfig system = SystemConfig::table1();
+    system.numCores = 4;
+
+    EngineConfig engine_config;
+    engine_config.refsPerCore = 40000;
+    engine_config.warmupRefsPerCore = 40000;
+    engine_config.coreVm = {1, 1, 2, 2};
+
+    const BenchmarkProfile &mcf = ProfileRegistry::byName("mcf");
+    const BenchmarkProfile &gups = ProfileRegistry::byName("gups");
+
+    auto make_sources = [&] {
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        sources.push_back(
+            std::make_unique<GeneratorSource>(mcf, 0, 42));
+        sources.push_back(
+            std::make_unique<GeneratorSource>(mcf, 1, 42));
+        sources.push_back(
+            std::make_unique<GeneratorSource>(gups, 2, 42));
+        sources.push_back(
+            std::make_unique<GeneratorSource>(gups, 3, 42));
+        return sources;
+    };
+
+    // The pid-policy profile: rate-mode gives each core its own
+    // process, which is what distinct tenants need.
+    const BenchmarkProfile &pid_policy = mcf;
+
+    std::printf("4 cores, 2 VMs: mcf (VM 1, cores 0-1) + gups "
+                "(VM 2, cores 2-3)\n\n");
+
+    for (const SchemeKind kind :
+         {SchemeKind::NestedWalk, SchemeKind::PomTlb}) {
+        Machine machine(system, kind);
+        SimulationEngine engine(machine, pid_policy, engine_config,
+                                make_sources());
+        const RunResult result = engine.run();
+
+        std::printf("-- %s --\n", schemeKindName(kind));
+        for (unsigned core = 0; core < 4; ++core) {
+            const CoreRunStats &stats = result.cores[core];
+            std::printf("  core %u (%s, VM %u): %6llu misses, "
+                        "%6.1f cycles/miss\n",
+                        core, core < 2 ? "mcf " : "gups",
+                        engine_config.coreVm[core],
+                        static_cast<unsigned long long>(
+                            stats.lastLevelTlbMisses),
+                        stats.avgPenaltyPerMiss);
+        }
+        std::printf("  machine-wide: %.1f cycles/miss, %.2f%% of "
+                    "misses walked\n\n",
+                    result.avgPenaltyPerMiss(),
+                    100.0 * result.walkFraction());
+    }
+
+    std::printf("One 16 MB POM-TLB absorbs both tenants' translation "
+                "working sets at once —\nthe Section 5.2 argument for "
+                "consolidated hosts.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-VM consolidation (Section 5.2): several virtual machines
+ * sharing one host.
+ *
+ * SRAM TLBs thrash when VMs interfere; the 16 MB POM-TLB holds every
+ * VM's translations simultaneously. This example runs the same
+ * workload in 1, 2 and 4 VMs (cores striped across them) and reports
+ * how each design's translation penalty degrades.
+ *
+ *   $ ./multi_vm_consolidation [benchmark]    (default: canneal)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+
+#include <iostream>
+
+int
+main(int argc, char **argv)
+{
+    using namespace pomtlb;
+
+    const std::string name = argc > 1 ? argv[1] : "canneal";
+    const BenchmarkProfile &profile = ProfileRegistry::byName(name);
+
+    ResultTable table({"VMs", "baseline cyc/miss", "POM cyc/miss",
+                       "POM walk %", "POM L3D$+L2D$ service %"});
+
+    for (const unsigned vms : {1u, 2u, 4u}) {
+        ExperimentConfig config;
+        config.system.numCores = 4;
+        config.engine.refsPerCore = 40000;
+        config.engine.warmupRefsPerCore = 40000;
+        // Stripe the four cores across the VMs.
+        config.engine.coreVm.clear();
+        for (unsigned core = 0; core < 4; ++core)
+            config.engine.coreVm.push_back(
+                static_cast<VmId>(1 + core % vms));
+
+        const SchemeRunSummary baseline =
+            runScheme(profile, SchemeKind::NestedWalk, config);
+        const SchemeRunSummary pom =
+            runScheme(profile, SchemeKind::PomTlb, config);
+
+        const double cache_service =
+            100.0 * (pom.pomL2CacheServiceRate +
+                     (1.0 - pom.pomL2CacheServiceRate) *
+                         pom.pomL3CacheServiceRate);
+        table.addRow({std::to_string(vms),
+                      ResultTable::num(baseline.avgPenaltyPerMiss, 1),
+                      ResultTable::num(pom.avgPenaltyPerMiss, 1),
+                      ResultTable::num(100.0 * pom.walkFraction, 2),
+                      ResultTable::num(cache_service, 1)});
+    }
+
+    std::printf("Multi-VM consolidation on '%s' (4 cores striped "
+                "across VMs)\n\n",
+                profile.name.c_str());
+    table.print(std::cout);
+    std::printf(
+        "\nThe POM-TLB keeps all VMs' translations resident (VM-ID "
+        "tagged entries,\nEquation 1 spreads VMs across sets), so "
+        "its walk fraction stays ~0 while\nthe SRAM-TLB baseline "
+        "pays a full nested walk per miss in every VM.\n");
+    return 0;
+}

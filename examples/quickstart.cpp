@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: build the paper's Table 1 machine with a POM-TLB,
+ * run one TLB-stressing workload, and compare it against the
+ * conventional nested-walk baseline.
+ *
+ *   $ ./quickstart [benchmark]     (default: mcf)
+ *
+ * This is the five-minute tour of the library's public API:
+ * SystemConfig -> Machine/runScheme -> SchemeRunSummary -> PerfModel.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/perf_model.hh"
+#include "trace/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pomtlb;
+
+    const std::string name = argc > 1 ? argv[1] : "mcf";
+    const BenchmarkProfile &profile = ProfileRegistry::byName(name);
+
+    // 1. Configure the machine. SystemConfig::table1() is the
+    //    paper's 8-core Skylake-like setup; tweak anything you like
+    //    before building.
+    ExperimentConfig config;
+    config.system = SystemConfig::table1();
+    config.system.numCores = 4;          // keep the demo snappy
+    config.engine.refsPerCore = 60000;   // measured references
+    config.engine.warmupRefsPerCore = 60000;
+
+    std::printf("workload        : %s (%s, %s)\n",
+                profile.name.c_str(),
+                accessPatternName(profile.pattern),
+                profile.multithreaded ? "multithreaded"
+                                      : "rate mode");
+    std::printf("footprint       : %llu MB%s\n",
+                static_cast<unsigned long long>(
+                    profile.footprintBytes >> 20),
+                profile.multithreaded ? " (shared)" : " per core");
+
+    // 2. Run the conventional baseline: every L2 TLB miss triggers a
+    //    2D nested page walk (up to 24 memory references).
+    const SchemeRunSummary baseline =
+        runScheme(profile, SchemeKind::NestedWalk, config);
+    std::printf("\n-- baseline (nested walks) --\n");
+    std::printf("L2 TLB misses   : %llu\n",
+                static_cast<unsigned long long>(
+                    baseline.run.totalLastLevelMisses()));
+    std::printf("cycles per miss : %.1f\n",
+                baseline.avgPenaltyPerMiss);
+
+    // 3. Run the same trace on the POM-TLB machine.
+    const SchemeRunSummary pom =
+        runScheme(profile, SchemeKind::PomTlb, config);
+    std::printf("\n-- POM-TLB --\n");
+    std::printf("cycles per miss : %.1f\n", pom.avgPenaltyPerMiss);
+    std::printf("page walks left : %.2f%% of misses\n",
+                100.0 * pom.walkFraction);
+    std::printf("served by L2D$  : %.1f%%\n",
+                100.0 * pom.pomL2CacheServiceRate);
+    std::printf("size predictor  : %.1f%% accurate\n",
+                100.0 * pom.sizePredictorAccuracy);
+
+    // 4. Feed the simulated translation-cost ratio into the paper's
+    //    additive performance model (Eqs. 2-5) together with the
+    //    measured Table 2 overhead.
+    const double ratio =
+        static_cast<double>(pom.translationCycles) /
+        static_cast<double>(baseline.translationCycles);
+    const double improvement = PerfModel::improvementPct(
+        profile, config.system.mode, ratio);
+    std::printf("\ntranslation cost ratio (POM/baseline): %.3f\n",
+                ratio);
+    std::printf("projected speedup (Eqs. 2-5)         : %.2f%%\n",
+                improvement);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Anatomy of a virtualized page walk (Figure 1), hands-on.
+ *
+ * Drives the page-table walker directly to show where the "up to 24
+ * memory references" of a 2D nested walk come from, how the
+ * structure caches and nested TLB whittle them down on warm walks,
+ * and why even the warm walk still costs more than one POM-TLB
+ * access — the paper's central argument.
+ *
+ *   $ ./walk_anatomy
+ */
+
+#include <cstdio>
+
+#include "cache/hierarchy.hh"
+#include "dram/controller.hh"
+#include "pagetable/walker.hh"
+#include "pomtlb/pom_tlb.hh"
+
+int
+main()
+{
+    using namespace pomtlb;
+
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+
+    std::printf("=== 1D vs 2D page walks ===\n\n");
+
+    // --- Native machine: one radix-4 table, max 4 references. ---
+    {
+        DramController memory(config.mainMemory);
+        DataHierarchy hierarchy(config, memory);
+        MemoryMapConfig map_config;
+        map_config.mode = ExecMode::Native;
+        MemoryMap map(map_config);
+        PageWalker walker(0, map, hierarchy, config.psc);
+
+        const WalkResult cold =
+            walker.walk(0x7f1234567000, 1, 1, PageSize::Small4K, 0);
+        const WalkResult warm = walker.walk(
+            0x7f1234567000, 1, 1, PageSize::Small4K, 10000);
+        std::printf("native  cold walk: %2u refs, %4llu cycles\n",
+                    cold.memRefs,
+                    static_cast<unsigned long long>(cold.cycles));
+        std::printf("native  warm walk: %2u refs, %4llu cycles "
+                    "(PSC skips the upper levels)\n",
+                    warm.memRefs,
+                    static_cast<unsigned long long>(warm.cycles));
+    }
+
+    // --- Virtualized machine: guest table x host (EPT) table. ---
+    DramController memory(config.mainMemory);
+    DataHierarchy hierarchy(config, memory);
+    MemoryMapConfig map_config;
+    map_config.mode = ExecMode::Virtualized;
+    MemoryMap map(map_config);
+    PageWalker walker(0, map, hierarchy, config.psc);
+
+    const WalkResult cold =
+        walker.walk(0x7f1234567000, 1, 1, PageSize::Small4K, 0);
+    std::printf("\nvirtual cold walk: %2u refs, %4llu cycles\n",
+                cold.memRefs,
+                static_cast<unsigned long long>(cold.cycles));
+    std::printf("  (Figure 1: each of the 4 guest PTE reads needs a "
+                "4-ref EPT walk of its gPA,\n   plus a final 4-ref "
+                "EPT walk of the data gPA: 4 x (4+1) + 4 = 24)\n");
+
+    const WalkResult warm = walker.walk(0x7f1234567000, 1, 1,
+                                        PageSize::Small4K, 100000);
+    std::printf("virtual warm walk: %2u refs, %4llu cycles "
+                "(guest PDE cache + nested TLB)\n",
+                warm.memRefs,
+                static_cast<unsigned long long>(warm.cycles));
+
+    const WalkResult large =
+        walker.walk(0x40000000, 1, 1, PageSize::Large2M, 200000);
+    std::printf("virtual 2MB  walk: %2u refs, %4llu cycles "
+                "(one guest level fewer)\n",
+                large.memRefs,
+                static_cast<unsigned long long>(large.cycles));
+
+    // --- One POM-TLB access, for contrast. ---
+    std::printf("\n=== the POM-TLB alternative ===\n\n");
+    DramController die_stacked(config.dieStacked);
+    PomTlb pom(config.pomTlb, die_stacked);
+    pom.install(0x7f1234567000, 1, 1, PageSize::Small4K,
+                cold.hostPfn, 0);
+    const PomTlbDeviceResult lookup = pom.lookupDram(
+        0x7f1234567000, 1, 1, PageSize::Small4K, 300000);
+    std::printf("POM-TLB DRAM hit : 1 access, %4llu cycles "
+                "(row %s)\n",
+                static_cast<unsigned long long>(lookup.cycles),
+                lookup.rowBuffer == RowBufferOutcome::Hit
+                    ? "hit"
+                    : "opened");
+    std::printf("...and when the 64 B set line sits in the L2D$, a "
+                "hit costs ~%llu cycles —\nversus every walk above. "
+                "That asymmetry is the paper.\n",
+                static_cast<unsigned long long>(
+                    config.l2.accessLatency));
+    return 0;
+}

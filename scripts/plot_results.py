@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Plot the figure benches' CSV output.
+
+Usage:
+    POMTLB_CSV=1 build/bench/bench_fig08_performance > fig08.txt
+    scripts/plot_results.py fig08.txt -o fig08.png
+
+Parses the ``[csv]`` block a bench emits under POMTLB_CSV=1 (the
+aligned table is for humans; the CSV block is for this script) and
+renders a grouped bar chart in the paper's figure style: benchmarks
+on the x-axis, one bar group per numeric column.
+
+Requires matplotlib (not needed for anything else in the repo).
+"""
+
+import argparse
+import csv
+import io
+import sys
+
+
+def extract_csv(text: str) -> list[dict[str, str]]:
+    """Return the rows of the first [csv] block in *text*."""
+    marker = "[csv]"
+    start = text.find(marker)
+    if start < 0:
+        raise SystemExit(
+            "no [csv] block found — run the bench with POMTLB_CSV=1"
+        )
+    block = text[start + len(marker):].lstrip("\n")
+    # The block ends at the first blank line or EOF.
+    body = block.split("\n\n", 1)[0]
+    reader = csv.DictReader(io.StringIO(body))
+    return list(reader)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="bench output file (with [csv])")
+    parser.add_argument("-o", "--output", default="figure.png")
+    parser.add_argument("--title", default=None)
+    parser.add_argument(
+        "--drop-average",
+        action="store_true",
+        help="omit the summary 'average' row",
+    )
+    args = parser.parse_args()
+
+    with open(args.input, encoding="utf-8") as handle:
+        rows = extract_csv(handle.read())
+    if not rows:
+        raise SystemExit("empty CSV block")
+
+    label_key = next(iter(rows[0]))
+    value_keys = [k for k in rows[0] if k != label_key]
+    if args.drop_average:
+        rows = [r for r in rows if r[label_key] != "average"]
+
+    labels = [r[label_key] for r in rows]
+    series = {
+        key: [float(r[key]) for r in rows] for key in value_keys
+    }
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit(
+            "matplotlib is required: pip install matplotlib"
+        )
+
+    _, axis = plt.subplots(
+        figsize=(max(8.0, 0.7 * len(labels)), 4.0)
+    )
+    width = 0.8 / max(1, len(series))
+    for index, (name, values) in enumerate(series.items()):
+        positions = [
+            i + index * width for i in range(len(labels))
+        ]
+        axis.bar(positions, values, width=width, label=name)
+
+    axis.set_xticks(
+        [i + 0.4 - width / 2 for i in range(len(labels))]
+    )
+    axis.set_xticklabels(labels, rotation=45, ha="right")
+    axis.legend(fontsize=8)
+    axis.grid(axis="y", linewidth=0.3)
+    if args.title:
+        axis.set_title(args.title)
+
+    plt.tight_layout()
+    plt.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

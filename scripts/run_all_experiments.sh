@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Regenerate every table and figure of the paper, tee-ing the output
+# the way EXPERIMENTS.md records it.
+#
+#   scripts/run_all_experiments.sh [build-dir] [output-file]
+#
+# Environment: POMTLB_QUICK=1 for a fast smoke pass, POMTLB_CSV=1 for
+# CSV blocks, POMTLB_CORES=n to override the core count.
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-bench_output.txt}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+    echo "error: $BUILD_DIR/bench not found — build the project first" >&2
+    exit 1
+fi
+
+: > "$OUTPUT"
+for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $b =====" | tee -a "$OUTPUT"
+    "$b" 2>&1 | tee -a "$OUTPUT"
+done
+echo "wrote $OUTPUT"

@@ -1,0 +1,33 @@
+#include "analysis/cacti.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+double
+SramLatencyModel::accessTimeNs(std::uint64_t bytes)
+{
+    simAssert(bytes > 0, "SRAM model needs a positive capacity");
+    const double kb = static_cast<double>(bytes) / 1024.0;
+    return fixedNs + scaleNsPerSqrtKb * std::sqrt(kb);
+}
+
+double
+SramLatencyModel::normalizedLatency(std::uint64_t bytes)
+{
+    return accessTimeNs(bytes) / accessTimeNs(referenceBytes);
+}
+
+Cycles
+SramLatencyModel::accessCycles(std::uint64_t bytes,
+                               double core_freq_ghz)
+{
+    simAssert(core_freq_ghz > 0.0, "non-positive core frequency");
+    return static_cast<Cycles>(
+        std::ceil(accessTimeNs(bytes) * core_freq_ghz));
+}
+
+} // namespace pomtlb

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * An analytical CACTI-style SRAM access-latency model for Figure 4.
+ *
+ * The paper used CACTI to show that naively growing an SRAM L2 TLB
+ * does not scale: access latency grows roughly with the square root
+ * of the array area (word-line plus bit-line RC), with a fixed
+ * decoder/sense overhead. We fit that functional form:
+ *
+ *     t(C) = t0 + k * sqrt(C / 1 KB)   [ns]
+ *
+ * which reproduces CACTI's published trend (a 16 MB array is over an
+ * order of magnitude slower than a 16 KB one). Figure 4 plots the
+ * latency normalised to 16 KB.
+ */
+
+#ifndef POMTLB_ANALYSIS_CACTI_HH
+#define POMTLB_ANALYSIS_CACTI_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pomtlb
+{
+
+/** Analytical SRAM latency model. */
+class SramLatencyModel
+{
+  public:
+    /** Fixed decode/sense overhead (ns). */
+    static constexpr double fixedNs = 0.25;
+    /** RC scaling coefficient (ns per sqrt(KB)). */
+    static constexpr double scaleNsPerSqrtKb = 0.11;
+    /** Figure 4's normalisation point. */
+    static constexpr std::uint64_t referenceBytes = 16 * 1024;
+
+    /** Absolute access time for a @p bytes SRAM array (ns). */
+    static double accessTimeNs(std::uint64_t bytes);
+
+    /** Latency normalised to the 16 KB reference (Figure 4's y-axis). */
+    static double normalizedLatency(std::uint64_t bytes);
+
+    /** Access time in core cycles at @p core_freq_ghz. */
+    static Cycles accessCycles(std::uint64_t bytes,
+                               double core_freq_ghz);
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_ANALYSIS_CACTI_HH

@@ -1,0 +1,48 @@
+#include "baseline/nested_scheme.hh"
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+NestedWalkScheme::NestedWalkScheme(
+    std::vector<std::unique_ptr<PageWalker>> &walkers)
+    : pageWalkers(walkers)
+{
+}
+
+SchemeResult
+NestedWalkScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
+                                VmId vm, ProcessId pid, Cycles now)
+{
+    simAssert(core < pageWalkers.size(), "core id out of range");
+    const WalkResult walk =
+        pageWalkers[core]->walk(vaddr, vm, pid, size, now);
+
+    ++walks;
+    walkCycles.sample(static_cast<double>(walk.cycles));
+    walkRefs.sample(static_cast<double>(walk.memRefs));
+
+    SchemeResult result;
+    result.cycles = walk.cycles;
+    result.pfn = walk.hostPfn;
+    result.walked = true;
+    return result;
+}
+
+void
+NestedWalkScheme::invalidateVm(VmId vm)
+{
+    for (auto &walker : pageWalkers)
+        walker->invalidateVm(vm);
+}
+
+void
+NestedWalkScheme::resetStats()
+{
+    walks.reset();
+    walkCycles.reset();
+    walkRefs.reset();
+}
+
+} // namespace pomtlb

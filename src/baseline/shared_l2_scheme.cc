@@ -1,0 +1,68 @@
+#include "baseline/shared_l2_scheme.hh"
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+SharedL2Scheme::SharedL2Scheme(
+    const TlbConfig &config,
+    std::vector<std::unique_ptr<PageWalker>> &walkers)
+    : sharedTlb(std::make_unique<SetAssocTlb>(config)),
+      sharedLatency(config.accessLatency),
+      pageWalkers(walkers)
+{
+}
+
+SchemeResult
+SharedL2Scheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
+                              VmId vm, ProcessId pid, Cycles now)
+{
+    simAssert(core < pageWalkers.size(), "core id out of range");
+    SchemeResult result;
+
+    const PageNum vpn = pageNumber(vaddr, size);
+    result.cycles += sharedLatency;
+    const TlbLookupResult hit = sharedTlb->lookup(vpn, size, vm, pid);
+    if (hit.hit) {
+        result.pfn = hit.pfn;
+        missCycles.sample(static_cast<double>(result.cycles));
+        return result;
+    }
+
+    const WalkResult walk = pageWalkers[core]->walk(
+        vaddr, vm, pid, size, now + result.cycles);
+    result.cycles += walk.cycles;
+    result.pfn = walk.hostPfn;
+    result.walked = true;
+    ++walks;
+
+    sharedTlb->insert(vpn, size, vm, pid, walk.hostPfn);
+    missCycles.sample(static_cast<double>(result.cycles));
+    return result;
+}
+
+void
+SharedL2Scheme::invalidatePage(Addr vaddr, PageSize size, VmId vm,
+                               ProcessId pid)
+{
+    sharedTlb->invalidatePage(pageNumber(vaddr, size), size, vm, pid);
+}
+
+void
+SharedL2Scheme::invalidateVm(VmId vm)
+{
+    sharedTlb->invalidateVm(vm);
+    for (auto &walker : pageWalkers)
+        walker->invalidateVm(vm);
+}
+
+void
+SharedL2Scheme::resetStats()
+{
+    sharedTlb->resetStats();
+    walks.reset();
+    missCycles.reset();
+}
+
+} // namespace pomtlb

@@ -1,0 +1,172 @@
+#include "baseline/tsb_scheme.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+TsbScheme::TsbScheme(const TsbConfig &config, Addr base_addr,
+                     DataHierarchy &hierarchy,
+                     std::vector<std::unique_ptr<PageWalker>> &walkers)
+    : tsbConfig(config),
+      baseAddr(base_addr),
+      dataHierarchy(hierarchy),
+      pageWalkers(walkers)
+{
+    tsbConfig.validate();
+    const std::uint64_t total_entries =
+        config.capacityBytes / config.entryBytes;
+    stageEntries = total_entries / config.accessesPerTranslation;
+    simAssert(isPowerOfTwo(stageEntries),
+              "TSB stage entry count must be a power of two");
+    stages.resize(config.accessesPerTranslation);
+    for (auto &stage : stages)
+        stage.resize(stageEntries);
+}
+
+std::uint64_t
+TsbScheme::indexOf(PageNum vpn, VmId vm, ProcessId pid) const
+{
+    // SPARC TSB hashing includes the context number: the OS spreads
+    // address spaces across the buffer, so rate-mode copies with
+    // identical VA layouts do not collide.
+    return (vpn ^ vm ^ (static_cast<std::uint64_t>(pid) * 0x9e3779b9)) &
+           (stageEntries - 1);
+}
+
+Addr
+TsbScheme::slotAddr(unsigned stage, std::uint64_t index) const
+{
+    return baseAddr +
+           (static_cast<Addr>(stage) * stageEntries + index) *
+               tsbConfig.entryBytes;
+}
+
+SchemeResult
+TsbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
+                         VmId vm, ProcessId pid, Cycles now)
+{
+    simAssert(core < pageWalkers.size(), "core id out of range");
+    SchemeResult result;
+
+    // Trap into the software handler.
+    result.cycles += tsbConfig.trapCycles;
+
+    const PageNum vpn = pageNumber(vaddr, size);
+    const std::uint64_t index = indexOf(vpn, vm, pid);
+
+    // The handler performs one dependent load per stage; every stage
+    // must match for the translation to complete.
+    bool all_match = true;
+    PageNum pfn = 0;
+    for (unsigned stage = 0; stage < stages.size(); ++stage) {
+        const HierarchyAccessResult load = dataHierarchy.accessData(
+            core, slotAddr(stage, index), AccessType::Read,
+            now + result.cycles);
+        result.cycles += load.latency;
+
+        const TlbEntry &entry = stages[stage][index];
+        if (!entry.matches(vpn, vm, pid, size)) {
+            all_match = false;
+            // The handler knows after this load that the walk is
+            // needed; remaining stage loads are skipped.
+            break;
+        }
+        pfn = entry.pfn;
+    }
+
+    if (all_match) {
+        ++hits;
+        result.pfn = pfn;
+        missCycles.sample(static_cast<double>(result.cycles));
+        return result;
+    }
+
+    ++misses;
+    const WalkResult walk = pageWalkers[core]->walk(
+        vaddr, vm, pid, size, now + result.cycles);
+    result.cycles += walk.cycles;
+    result.pfn = walk.hostPfn;
+    result.walked = true;
+    ++walks;
+
+    // The handler refills the buffer (direct-mapped overwrite); the
+    // stores are off the translation's critical path.
+    for (unsigned stage = 0; stage < stages.size(); ++stage) {
+        TlbEntry &entry = stages[stage][index];
+        entry.valid = true;
+        entry.vmId = vm;
+        entry.pid = pid;
+        entry.vpn = vpn;
+        entry.pfn = walk.hostPfn;
+        entry.pageSize = size;
+        dataHierarchy.accessData(core, slotAddr(stage, index),
+                                 AccessType::Write,
+                                 now + result.cycles);
+    }
+
+    missCycles.sample(static_cast<double>(result.cycles));
+    return result;
+}
+
+void
+TsbScheme::prewarm(CoreId, Addr vaddr, PageSize size, VmId vm,
+                   ProcessId pid, PageNum pfn)
+{
+    const PageNum vpn = pageNumber(vaddr, size);
+    const std::uint64_t index = indexOf(vpn, vm, pid);
+    for (auto &stage : stages) {
+        TlbEntry &entry = stage[index];
+        entry.valid = true;
+        entry.vmId = vm;
+        entry.pid = pid;
+        entry.vpn = vpn;
+        entry.pfn = pfn;
+        entry.pageSize = size;
+    }
+}
+
+void
+TsbScheme::invalidatePage(Addr vaddr, PageSize size, VmId vm,
+                          ProcessId pid)
+{
+    const PageNum vpn = pageNumber(vaddr, size);
+    const std::uint64_t index = indexOf(vpn, vm, pid);
+    for (auto &stage : stages) {
+        TlbEntry &entry = stage[index];
+        if (entry.matches(vpn, vm, pid, size))
+            entry.valid = false;
+    }
+}
+
+void
+TsbScheme::invalidateVm(VmId vm)
+{
+    for (auto &stage : stages) {
+        for (auto &entry : stage) {
+            if (entry.valid && entry.vmId == vm)
+                entry.valid = false;
+        }
+    }
+    for (auto &walker : pageWalkers)
+        walker->invalidateVm(vm);
+}
+
+void
+TsbScheme::resetStats()
+{
+    hits.reset();
+    misses.reset();
+    walks.reset();
+    missCycles.reset();
+}
+
+double
+TsbScheme::tsbHitRate() const
+{
+    const std::uint64_t total = hits.value() + misses.value();
+    return total ? static_cast<double>(hits.value()) / total : 0.0;
+}
+
+} // namespace pomtlb

@@ -1,0 +1,261 @@
+#include "cache/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config,
+                             ReplacementKind replacement,
+                             std::uint64_t seed)
+    : cacheConfig(config),
+      sets(config.numSets()),
+      ways(config.associativity),
+      lineShift(floorLog2(config.lineBytes)),
+      setBits(floorLog2(config.numSets())),
+      lines(config.numSets() * config.associativity),
+      policy(ReplacementPolicy::create(replacement, config.numSets(),
+                                       config.associativity, seed)),
+      statGroup(config.name)
+{
+    cacheConfig.validate();
+    statGroup.addCounter("data_hits", dataHits);
+    statGroup.addCounter("data_misses", dataMisses);
+    statGroup.addCounter("tlb_hits", tlbHits);
+    statGroup.addCounter("tlb_misses", tlbMisses);
+    statGroup.addCounter("fills", fills);
+    statGroup.addCounter("evictions", evictions);
+    statGroup.addCounter("writebacks", writebacks);
+    statGroup.addCounter("invalidations", invalidations);
+    statGroup.addDerived("hit_rate", [this] { return hitRate(); });
+    statGroup.addDerived("tlb_line_occupancy", [this] {
+        return static_cast<double>(tlbLines) /
+               static_cast<double>(lines.size());
+    });
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift) & (sets - 1);
+}
+
+std::uint64_t
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr >> (lineShift + setBits);
+}
+
+Addr
+SetAssocCache::lineAddr(std::uint64_t set, std::uint64_t tag) const
+{
+    return ((tag << setBits) | set) << lineShift;
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr, unsigned *way_out)
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    Line *base = &lines[set * ways];
+    for (unsigned way = 0; way < ways; ++way) {
+        if (base[way].valid && base[way].tag == tag) {
+            if (way_out)
+                *way_out = way;
+            return &base[way];
+        }
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines[set * ways];
+    for (unsigned way = 0; way < ways; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+CacheLookupResult
+SetAssocCache::lookup(Addr addr, AccessType type, LineKind probe_kind)
+{
+    CacheLookupResult result;
+    unsigned way = 0;
+    Line *line = findLine(addr, &way);
+    if (line) {
+        result.hit = true;
+        result.kind = line->kind;
+        if (type == AccessType::Write)
+            line->dirty = true;
+        line->stamp = ++recencyClock;
+        policy->touch(setIndex(addr), way);
+        if (probe_kind == LineKind::Data)
+            ++dataHits;
+        else
+            ++tlbHits;
+    } else {
+        if (probe_kind == LineKind::Data)
+            ++dataMisses;
+        else
+            ++tlbMisses;
+    }
+    return result;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+CacheFillResult
+SetAssocCache::fill(Addr addr, LineKind kind, bool dirty)
+{
+    CacheFillResult result;
+    ++fills;
+
+    // Refresh in place when the line is already resident (e.g. two
+    // outstanding misses to the same line resolved back to back).
+    unsigned way = 0;
+    if (Line *line = findLine(addr, &way)) {
+        line->dirty = line->dirty || dirty;
+        if (line->kind != kind) {
+            tlbLines += (kind == LineKind::TlbEntry) ? 1 : -1;
+            line->kind = kind;
+        }
+        line->stamp = ++recencyClock;
+        policy->touch(setIndex(addr), way);
+        return result;
+    }
+
+    const std::uint64_t set = setIndex(addr);
+    Line *base = &lines[set * ways];
+    unsigned target = ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!base[w].valid) {
+            target = w;
+            break;
+        }
+    }
+    if (target == ways) {
+        target = victimWay(set, kind);
+        Line &victim = base[target];
+        result.evicted = true;
+        result.victimAddr = lineAddr(set, victim.tag);
+        result.victimDirty = victim.dirty;
+        result.victimKind = victim.kind;
+        ++evictions;
+        if (victim.dirty)
+            ++writebacks;
+        if (victim.kind == LineKind::TlbEntry)
+            --tlbLines;
+        --validLines;
+    }
+
+    Line &line = base[target];
+    line.valid = true;
+    line.dirty = dirty;
+    line.kind = kind;
+    line.tag = tagOf(addr);
+    line.stamp = ++recencyClock;
+    ++validLines;
+    if (kind == LineKind::TlbEntry)
+        ++tlbLines;
+    policy->touch(set, target);
+    return result;
+}
+
+unsigned
+SetAssocCache::victimWay(std::uint64_t set, LineKind)
+{
+    if (tlbPolicy == TlbLinePolicy::None)
+        return policy->victim(set);
+
+    // Section 5.1: retain TLB lines — evict the least-recently-used
+    // *data* line when one exists; fall back to overall LRU when the
+    // set holds nothing but TLB lines.
+    const Line *base = &lines[set * ways];
+    unsigned best = ways;
+    std::uint64_t best_stamp = ~std::uint64_t{0};
+    for (unsigned way = 0; way < ways; ++way) {
+        if (base[way].kind == LineKind::Data &&
+            base[way].stamp < best_stamp) {
+            best_stamp = base[way].stamp;
+            best = way;
+        }
+    }
+    if (best != ways)
+        return best;
+    return policy->victim(set);
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    unsigned way = 0;
+    Line *line = findLine(addr, &way);
+    if (!line)
+        return false;
+    if (line->kind == LineKind::TlbEntry)
+        --tlbLines;
+    --validLines;
+    line->valid = false;
+    line->dirty = false;
+    policy->invalidate(setIndex(addr), way);
+    ++invalidations;
+    return true;
+}
+
+std::uint64_t
+SetAssocCache::flush()
+{
+    std::uint64_t dropped = 0;
+    for (auto &line : lines) {
+        if (line.valid) {
+            ++dropped;
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+    tlbLines = 0;
+    validLines = 0;
+    return dropped;
+}
+
+double
+SetAssocCache::hitRate() const
+{
+    const std::uint64_t hits = dataHits.value() + tlbHits.value();
+    const std::uint64_t total =
+        hits + dataMisses.value() + tlbMisses.value();
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+double
+SetAssocCache::hitRate(LineKind kind) const
+{
+    const std::uint64_t hits = hitCount(kind);
+    const std::uint64_t total = hits + missCount(kind);
+    return total ? static_cast<double>(hits) / total : 0.0;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    dataHits.reset();
+    dataMisses.reset();
+    tlbHits.reset();
+    tlbMisses.reset();
+    fills.reset();
+    evictions.reset();
+    writebacks.reset();
+    invalidations.reset();
+}
+
+} // namespace pomtlb

@@ -1,0 +1,147 @@
+#include "cache/replacement.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(ReplacementKind kind, std::uint64_t sets,
+                          unsigned ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::Lru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplacementKind::TreePlru:
+        return std::make_unique<TreePlruPolicy>(sets, ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(ways, seed);
+    }
+    panic("unknown replacement kind");
+}
+
+LruPolicy::LruPolicy(std::uint64_t sets, unsigned ways)
+    : numWays(ways), stamps(sets * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    stamps[set * numWays + way] = ++clock;
+}
+
+unsigned
+LruPolicy::victim(std::uint64_t set)
+{
+    const std::uint64_t base = set * numWays;
+    unsigned best = 0;
+    std::uint64_t best_stamp = stamps[base];
+    for (unsigned way = 1; way < numWays; ++way) {
+        if (stamps[base + way] < best_stamp) {
+            best_stamp = stamps[base + way];
+            best = way;
+        }
+    }
+    return best;
+}
+
+void
+LruPolicy::invalidate(std::uint64_t set, unsigned way)
+{
+    stamps[set * numWays + way] = 0;
+}
+
+TreePlruPolicy::TreePlruPolicy(std::uint64_t sets, unsigned ways)
+    : numWays(ways), treeNodes(ways > 1 ? ways - 1 : 1),
+      bits(sets * (ways > 1 ? ways - 1 : 1), 0)
+{
+    simAssert(isPowerOfTwo(ways), "tree PLRU needs power-of-two ways");
+}
+
+void
+TreePlruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    if (numWays == 1)
+        return;
+    std::uint8_t *tree = &bits[set * treeNodes];
+    // Walk from the root; at each node point *away* from this way.
+    unsigned node = 0;
+    unsigned span = numWays;
+    unsigned base = 0;
+    while (span > 1) {
+        const unsigned half = span / 2;
+        const bool right = way >= base + half;
+        tree[node] = right ? 0 : 1; // bit points at the LRU side
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            base += half;
+        span = half;
+    }
+}
+
+unsigned
+TreePlruPolicy::victim(std::uint64_t set)
+{
+    if (numWays == 1)
+        return 0;
+    const std::uint8_t *tree = &bits[set * treeNodes];
+    unsigned node = 0;
+    unsigned span = numWays;
+    unsigned base = 0;
+    while (span > 1) {
+        const unsigned half = span / 2;
+        const bool right = tree[node] != 0;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            base += half;
+        span = half;
+    }
+    return base;
+}
+
+void
+TreePlruPolicy::invalidate(std::uint64_t set, unsigned way)
+{
+    if (numWays == 1)
+        return;
+    // Make the invalidated way the immediate victim by pointing every
+    // node on its path toward it.
+    std::uint8_t *tree = &bits[set * treeNodes];
+    unsigned node = 0;
+    unsigned span = numWays;
+    unsigned base = 0;
+    while (span > 1) {
+        const unsigned half = span / 2;
+        const bool right = way >= base + half;
+        tree[node] = right ? 1 : 0;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            base += half;
+        span = half;
+    }
+}
+
+RandomPolicy::RandomPolicy(unsigned ways, std::uint64_t seed)
+    : numWays(ways), rng(seed)
+{
+}
+
+void
+RandomPolicy::touch(std::uint64_t, unsigned)
+{
+}
+
+unsigned
+RandomPolicy::victim(std::uint64_t)
+{
+    return static_cast<unsigned>(rng.below(numWays));
+}
+
+void
+RandomPolicy::invalidate(std::uint64_t, unsigned)
+{
+}
+
+} // namespace pomtlb

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures.
+ *
+ * The cache owns one policy object sized to its geometry; the policy
+ * keeps whatever per-set state it needs (ages, PLRU bits, nothing).
+ * The same interface backs both the data caches and the SRAM TLBs.
+ */
+
+#ifndef POMTLB_CACHE_REPLACEMENT_HH
+#define POMTLB_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace pomtlb
+{
+
+/** Which replacement algorithm a structure uses. */
+enum class ReplacementKind : std::uint8_t
+{
+    Lru = 0,
+    TreePlru = 1,
+    Random = 2,
+};
+
+/** Interface for per-set replacement state. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Note that @p way in @p set was just used. */
+    virtual void touch(std::uint64_t set, unsigned way) = 0;
+
+    /** Pick the eviction victim way in @p set (does not touch it). */
+    virtual unsigned victim(std::uint64_t set) = 0;
+
+    /** Forget any use history for @p way in @p set (invalidation). */
+    virtual void invalidate(std::uint64_t set, unsigned way) = 0;
+
+    /** Factory keyed on ReplacementKind. */
+    static std::unique_ptr<ReplacementPolicy>
+    create(ReplacementKind kind, std::uint64_t sets, unsigned ways,
+           std::uint64_t seed = 0);
+};
+
+/** True LRU via per-line age stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    unsigned numWays;
+    std::uint64_t clock = 0;
+    /** stamps[set * numWays + way]; 0 means "never used" (prefer). */
+    std::vector<std::uint64_t> stamps;
+};
+
+/** Tree pseudo-LRU (binary decision tree per set). */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    unsigned numWays;
+    unsigned treeNodes;
+    /** bits[set * treeNodes + node]. */
+    std::vector<std::uint8_t> bits;
+};
+
+/** Uniform-random victim selection (deterministic via seeded Rng). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(unsigned ways, std::uint64_t seed);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+
+  private:
+    unsigned numWays;
+    Rng rng;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_CACHE_REPLACEMENT_HH

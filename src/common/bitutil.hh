@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef POMTLB_COMMON_BITUTIL_HH
+#define POMTLB_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+namespace pomtlb
+{
+
+/** Return true when @p value is a (non-zero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/**
+ * Return floor(log2(value)). @p value must be non-zero; log2 of zero is
+ * defined here as zero so the function stays constexpr-friendly for
+ * configuration tables.
+ */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** Return ceil(log2(value)) (zero for values <= 1). */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    if (value <= 1)
+        return 0;
+    return floorLog2(value - 1) + 1;
+}
+
+/**
+ * Extract @p count bits of @p value starting at bit @p first
+ * (bit 0 is the least significant bit).
+ */
+constexpr std::uint64_t
+extractBits(std::uint64_t value, unsigned first, unsigned count)
+{
+    if (count >= 64)
+        return value >> first;
+    return (value >> first) & ((std::uint64_t{1} << count) - 1);
+}
+
+/** Align @p value down to a multiple of @p alignment (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t value, std::uint64_t alignment)
+{
+    return value & ~(alignment - 1);
+}
+
+/** Align @p value up to a multiple of @p alignment (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t alignment)
+{
+    return (value + alignment - 1) & ~(alignment - 1);
+}
+
+/**
+ * Mix the bits of @p value into a well-distributed 64-bit hash
+ * (the finalizer of splitmix64). Used for set-index hashing and to
+ * derive independent RNG seeds.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t value)
+{
+    value ^= value >> 30;
+    value *= 0xbf58476d1ce4e5b9ULL;
+    value ^= value >> 27;
+    value *= 0x94d049bb133111ebULL;
+    value ^= value >> 31;
+    return value;
+}
+
+} // namespace pomtlb
+
+#endif // POMTLB_COMMON_BITUTIL_HH

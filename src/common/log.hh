@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 spirit.
+ *
+ * - inform(): normal operating messages.
+ * - warn():   something works but maybe not as well as it should.
+ * - fatal():  the user supplied an impossible configuration; exit(1).
+ * - panic():  an internal invariant broke (a simulator bug); abort().
+ */
+
+#ifndef POMTLB_COMMON_LOG_HH
+#define POMTLB_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace pomtlb
+{
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one string via a stringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string &message);
+[[noreturn]] void panicImpl(const std::string &message);
+void informImpl(const std::string &message);
+void warnImpl(const std::string &message);
+
+/** Enable/disable inform() output (tests silence it). */
+void setInformEnabled(bool enabled);
+bool informEnabled();
+
+} // namespace detail
+
+/** Print an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning message to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a user-level configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an internal simulator bug and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check an internal invariant; panic with @p args when it fails.
+ * Active in all build types (the simulator is cheap enough to always
+ * self-check).
+ */
+template <typename... Args>
+void
+simAssert(bool condition, Args &&...args)
+{
+    if (!condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace pomtlb
+
+#endif // POMTLB_COMMON_LOG_HH

@@ -1,0 +1,91 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+StatGroup::StatGroup(std::string group_name)
+    : groupName(std::move(group_name))
+{
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter &counter)
+{
+    const Counter *ptr = &counter;
+    entries.push_back({name,
+                       [ptr] { return static_cast<double>(ptr->value()); },
+                       true});
+}
+
+void
+StatGroup::addAverage(const std::string &name, const Average &average)
+{
+    const Average *ptr = &average;
+    entries.push_back({name, [ptr] { return ptr->mean(); }, false});
+}
+
+void
+StatGroup::addDerived(const std::string &name,
+                      std::function<double()> compute)
+{
+    entries.push_back({name, std::move(compute), false});
+}
+
+void
+StatGroup::addChild(const StatGroup &child)
+{
+    children.push_back(&child);
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? groupName : prefix + "." + groupName;
+    for (const auto &entry : entries) {
+        os << std::left << std::setw(48) << (full + "." + entry.name)
+           << " ";
+        const double value = entry.value();
+        if (entry.integral) {
+            os << static_cast<std::uint64_t>(value);
+        } else {
+            os << std::fixed << std::setprecision(4) << value;
+        }
+        os << "\n";
+    }
+    for (const auto *child : children)
+        child->dump(os, full);
+}
+
+void
+StatGroup::collect(std::vector<std::pair<std::string, double>> &out,
+                   const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? groupName : prefix + "." + groupName;
+    for (const auto &entry : entries)
+        out.emplace_back(full + "." + entry.name, entry.value());
+    for (const auto *child : children)
+        child->collect(out, full);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        simAssert(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace pomtlb

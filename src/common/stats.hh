@@ -1,0 +1,175 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's Stats package.
+ *
+ * Components own a StatGroup; they register named counters and derived
+ * ratios against it. Groups nest, so a full machine can dump one tree
+ * of statistics. Everything is plain uint64/double — no atomics, the
+ * simulator is single-threaded by design.
+ */
+
+#ifndef POMTLB_COMMON_STATS_HH
+#define POMTLB_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pomtlb
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void increment(std::uint64_t amount = 1) { count += amount; }
+    void reset() { count = 0; }
+    std::uint64_t value() const { return count; }
+
+    Counter &operator++() { ++count; return *this; }
+    Counter &operator+=(std::uint64_t amount) { count += amount; return *this; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** An accumulating sample average (sum / sample count). */
+class Average
+{
+  public:
+    void
+    sample(double value)
+    {
+        total += value;
+        ++samples;
+    }
+
+    void
+    reset()
+    {
+        total = 0.0;
+        samples = 0;
+    }
+
+    double mean() const { return samples ? total / samples : 0.0; }
+    std::uint64_t sampleCount() const { return samples; }
+    double sum() const { return total; }
+
+  private:
+    double total = 0.0;
+    std::uint64_t samples = 0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, bucketWidth * bucketCount); samples
+ * beyond the last bucket land in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t width, std::size_t buckets)
+        : bucketWidth(width), counts(buckets + 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t index = value / bucketWidth;
+        if (index >= counts.size() - 1)
+            index = counts.size() - 1;
+        ++counts[index];
+        total += value;
+        ++samples;
+        if (value > maxSeen)
+            maxSeen = value;
+    }
+
+    void
+    reset()
+    {
+        for (auto &c : counts)
+            c = 0;
+        total = 0;
+        samples = 0;
+        maxSeen = 0;
+    }
+
+    std::uint64_t bucketCount() const { return counts.size() - 1; }
+    std::uint64_t bucket(std::size_t index) const { return counts[index]; }
+    std::uint64_t overflow() const { return counts.back(); }
+    std::uint64_t sampleCount() const { return samples; }
+    std::uint64_t maxValue() const { return maxSeen; }
+    double mean() const
+    {
+        return samples ? static_cast<double>(total) / samples : 0.0;
+    }
+    std::uint64_t width() const { return bucketWidth; }
+
+  private:
+    std::uint64_t bucketWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/**
+ * A named collection of statistics belonging to one component.
+ * Registration stores a name plus an accessor closure; dump() walks
+ * the group tree and pretty-prints "group.stat value" lines.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string group_name);
+
+    /** Non-copyable: registered closures capture component pointers. */
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter under @p name (the counter outlives us). */
+    void addCounter(const std::string &name, const Counter &counter);
+
+    /** Register an averaged sample statistic. */
+    void addAverage(const std::string &name, const Average &average);
+
+    /** Register a derived value computed on demand at dump time. */
+    void addDerived(const std::string &name,
+                    std::function<double()> compute);
+
+    /** Attach @p child as a nested group (child must outlive us). */
+    void addChild(const StatGroup &child);
+
+    /** Print "prefix.name value" lines for this group and children. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Collect (flat-name, value) pairs for programmatic checks. */
+    void collect(std::vector<std::pair<std::string, double>> &out,
+                 const std::string &prefix = "") const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::function<double()> value;
+        bool integral;
+    };
+
+    std::string groupName;
+    std::vector<Entry> entries;
+    std::vector<const StatGroup *> children;
+};
+
+/** Geometric mean of a vector of positive values (0 for empty input). */
+double geomean(const std::vector<double> &values);
+
+} // namespace pomtlb
+
+#endif // POMTLB_COMMON_STATS_HH

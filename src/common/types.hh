@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fundamental scalar types and enumerations shared by every subsystem.
+ *
+ * The simulator models a virtualized x86-64 style machine, so two
+ * distinct address spaces appear throughout the code base:
+ *
+ *  - guest virtual addresses (gVA), what the application issues;
+ *  - guest physical addresses (gPA), what the guest page table yields;
+ *  - host physical addresses (hPA), what the host (EPT-style) page
+ *    table yields and what the memory system actually operates on.
+ *
+ * All three are carried as plain @c Addr; the type aliases below exist
+ * for documentation value at API boundaries.
+ */
+
+#ifndef POMTLB_COMMON_TYPES_HH
+#define POMTLB_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pomtlb
+{
+
+/** A memory address (in any of the three address spaces). */
+using Addr = std::uint64_t;
+
+/** Guest virtual address. */
+using GuestVirtAddr = Addr;
+
+/** Guest physical address. */
+using GuestPhysAddr = Addr;
+
+/** Host physical address. */
+using HostPhysAddr = Addr;
+
+/** Simulated clock cycles (core clock unless noted otherwise). */
+using Cycles = std::uint64_t;
+
+/** Simulated instruction count. */
+using InstCount = std::uint64_t;
+
+/** Core identifier within the simulated machine. */
+using CoreId = std::uint32_t;
+
+/** Virtual machine identifier (Intel VPID-like tag). */
+using VmId = std::uint16_t;
+
+/** Guest process (address space) identifier. */
+using ProcessId = std::uint16_t;
+
+/** Virtual/physical page frame number. */
+using PageNum = std::uint64_t;
+
+/** The two page sizes the POM-TLB supports (4 KB and 2 MB). */
+enum class PageSize : std::uint8_t
+{
+    Small4K = 0,
+    Large2M = 1,
+};
+
+/** Number of distinct PageSize values. */
+constexpr int numPageSizes = 2;
+
+/** log2 of the 4 KB page size. */
+constexpr unsigned smallPageShift = 12;
+
+/** log2 of the 2 MB page size. */
+constexpr unsigned largePageShift = 21;
+
+/** Byte size of a 4 KB page. */
+constexpr Addr smallPageBytes = Addr{1} << smallPageShift;
+
+/** Byte size of a 2 MB page. */
+constexpr Addr largePageBytes = Addr{1} << largePageShift;
+
+/** Return log2(page size in bytes) for a PageSize. */
+constexpr unsigned
+pageShift(PageSize size)
+{
+    return size == PageSize::Small4K ? smallPageShift : largePageShift;
+}
+
+/** Return the page size in bytes for a PageSize. */
+constexpr Addr
+pageBytes(PageSize size)
+{
+    return Addr{1} << pageShift(size);
+}
+
+/** Extract the virtual/physical page number of @p addr at @p size. */
+constexpr PageNum
+pageNumber(Addr addr, PageSize size)
+{
+    return addr >> pageShift(size);
+}
+
+/** Return the page-aligned base of @p addr at @p size. */
+constexpr Addr
+pageBase(Addr addr, PageSize size)
+{
+    return addr & ~(pageBytes(size) - 1);
+}
+
+/** Return the in-page offset of @p addr at @p size. */
+constexpr Addr
+pageOffset(Addr addr, PageSize size)
+{
+    return addr & (pageBytes(size) - 1);
+}
+
+/** Human-readable name of a PageSize. */
+inline const char *
+pageSizeName(PageSize size)
+{
+    return size == PageSize::Small4K ? "4KB" : "2MB";
+}
+
+/** Kind of memory access issued by a core. */
+enum class AccessType : std::uint8_t
+{
+    Read = 0,
+    Write = 1,
+};
+
+/** Result category for lookups in cache/TLB-like structures. */
+enum class LookupOutcome : std::uint8_t
+{
+    Hit = 0,
+    Miss = 1,
+};
+
+/** Translation mode the simulated machine runs in. */
+enum class ExecMode : std::uint8_t
+{
+    /** Bare-metal: single (1D) page walk, 4 references max. */
+    Native = 0,
+    /** Under a hypervisor: 2D nested walk, up to 24 references. */
+    Virtualized = 1,
+};
+
+/** Human-readable name of an ExecMode. */
+inline const char *
+execModeName(ExecMode mode)
+{
+    return mode == ExecMode::Native ? "native" : "virtualized";
+}
+
+} // namespace pomtlb
+
+#endif // POMTLB_COMMON_TYPES_HH

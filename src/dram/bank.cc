@@ -1,0 +1,34 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+namespace pomtlb
+{
+
+Bank::AccessTiming
+Bank::access(double now, std::uint64_t row, unsigned t_cas,
+             unsigned t_rcd, unsigned t_rp)
+{
+    AccessTiming timing;
+    const double start = std::max(now, ready_at);
+    timing.queueDelay = start - now;
+
+    double prep;
+    if (open_row == row) {
+        timing.outcome = RowBufferOutcome::Hit;
+        prep = 0.0;
+    } else if (open_row == noRow) {
+        timing.outcome = RowBufferOutcome::Closed;
+        prep = t_rcd;
+    } else {
+        timing.outcome = RowBufferOutcome::Conflict;
+        prep = static_cast<double>(t_rp) + t_rcd;
+    }
+
+    open_row = row;
+    timing.dataReady = start + prep + t_cas;
+    ready_at = timing.dataReady;
+    return timing;
+}
+
+} // namespace pomtlb

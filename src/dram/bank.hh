@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One DRAM bank: open-row state plus a ready-time for simple queuing.
+ *
+ * The bank computes when its data is ready (activate/precharge plus
+ * CAS); the controller separately serializes the data burst on the
+ * channel bus, so bank preparation in different banks overlaps — the
+ * bank-level parallelism Section 2.2 relies on.
+ */
+
+#ifndef POMTLB_DRAM_BANK_HH
+#define POMTLB_DRAM_BANK_HH
+
+#include <cstdint>
+
+namespace pomtlb
+{
+
+/** Outcome of a DRAM access relative to the bank's row buffer. */
+enum class RowBufferOutcome : std::uint8_t
+{
+    /** Requested row was already open. */
+    Hit = 0,
+    /** Bank was precharged (no row open). */
+    Closed = 1,
+    /** A different row was open and had to be precharged first. */
+    Conflict = 2,
+};
+
+/** Open-page bank state machine. */
+class Bank
+{
+  public:
+    /** Result of timing one access against the bank. */
+    struct AccessTiming
+    {
+        RowBufferOutcome outcome;
+        /** Bus-cycle time the column data is ready for transfer. */
+        double dataReady;
+        /** Bus cycles the request waited for the bank. */
+        double queueDelay;
+    };
+
+    /**
+     * Time an access to @p row arriving at bus time @p now. The bank
+     * is left busy until the caller extends it via occupyUntil() once
+     * the burst completes.
+     *
+     * @param now   Arrival time in bus cycles.
+     * @param row   Target row index.
+     * @param t_cas CAS latency (bus cycles).
+     * @param t_rcd RAS-to-CAS delay (bus cycles).
+     * @param t_rp  Precharge time (bus cycles).
+     */
+    AccessTiming access(double now, std::uint64_t row, unsigned t_cas,
+                        unsigned t_rcd, unsigned t_rp);
+
+    /** Extend the bank's busy window (data burst completion). */
+    void
+    occupyUntil(double time)
+    {
+        if (time > ready_at)
+            ready_at = time;
+    }
+
+    /**
+     * Rewind the busy window (controller queue-clamping: the bank
+     * timeline must not ratchet ahead of the clamped request time).
+     */
+    void setReadyAt(double time) { ready_at = time; }
+
+    /** Close the open row (used by refresh-like maintenance). */
+    void precharge() { open_row = noRow; }
+
+    bool hasOpenRow() const { return open_row != noRow; }
+    std::uint64_t openRow() const { return open_row; }
+    double readyAt() const { return ready_at; }
+
+  private:
+    static constexpr std::uint64_t noRow = ~std::uint64_t{0};
+
+    std::uint64_t open_row = noRow;
+    double ready_at = 0.0;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_DRAM_BANK_HH

@@ -1,0 +1,43 @@
+#include "dram/mapper.hh"
+
+#include "common/bitutil.hh"
+
+namespace pomtlb
+{
+
+DramAddressMapper::DramAddressMapper(const DramConfig &config)
+    : offset_bits(floorLog2(config.burstBytes)),
+      column_bits(floorLog2(config.rowBufferBytes / config.burstBytes)),
+      channel_bits(floorLog2(config.numChannels)),
+      bank_bits(floorLog2(config.numBanks))
+{
+}
+
+DramCoord
+DramAddressMapper::decode(Addr addr) const
+{
+    DramCoord coord;
+    unsigned shift = offset_bits;
+    coord.column = extractBits(addr, shift, column_bits);
+    shift += column_bits;
+    coord.channel = static_cast<unsigned>(
+        extractBits(addr, shift, channel_bits));
+    shift += channel_bits;
+    coord.bank = static_cast<unsigned>(extractBits(addr, shift, bank_bits));
+    shift += bank_bits;
+    coord.row = addr >> shift;
+    return coord;
+}
+
+Addr
+DramAddressMapper::encode(const DramCoord &coord) const
+{
+    Addr addr = coord.row;
+    addr = (addr << bank_bits) | coord.bank;
+    addr = (addr << channel_bits) | coord.channel;
+    addr = (addr << column_bits) | coord.column;
+    addr <<= offset_bits;
+    return addr;
+}
+
+} // namespace pomtlb

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Physical-address to DRAM coordinate mapping.
+ *
+ * The mapper uses an open-page-friendly layout: consecutive physical
+ * addresses fill a row before moving to the next channel/bank, which
+ * is what gives the POM-TLB its high row-buffer hit rate for
+ * spatially-local translation streams (Section 4.4).
+ *
+ *   addr bits (low to high):
+ *     [burst offset][column][channel][bank][row]
+ */
+
+#ifndef POMTLB_DRAM_MAPPER_HH
+#define POMTLB_DRAM_MAPPER_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace pomtlb
+{
+
+/** DRAM coordinates a physical address decodes to. */
+struct DramCoord
+{
+    unsigned channel;
+    unsigned bank;
+    std::uint64_t row;
+    std::uint64_t column;
+
+    bool
+    operator==(const DramCoord &other) const
+    {
+        return channel == other.channel && bank == other.bank &&
+               row == other.row && column == other.column;
+    }
+};
+
+/** Decodes physical addresses into channel/bank/row/column. */
+class DramAddressMapper
+{
+  public:
+    explicit DramAddressMapper(const DramConfig &config);
+
+    /** Decode @p addr into DRAM coordinates. */
+    DramCoord decode(Addr addr) const;
+
+    /** Recompose coordinates into the canonical address (testing). */
+    Addr encode(const DramCoord &coord) const;
+
+    unsigned channelBits() const { return channel_bits; }
+    unsigned bankBits() const { return bank_bits; }
+    unsigned columnBits() const { return column_bits; }
+    unsigned offsetBits() const { return offset_bits; }
+
+  private:
+    unsigned offset_bits;
+    unsigned column_bits;
+    unsigned channel_bits;
+    unsigned bank_bits;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_DRAM_MAPPER_HH

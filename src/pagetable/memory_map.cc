@@ -1,0 +1,141 @@
+#include "pagetable/memory_map.hh"
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+namespace
+{
+/** Skip frame 0 so a zero address never aliases a real frame. */
+constexpr Addr firstFrame = 0x1000;
+} // namespace
+
+MemoryMap::MemoryMap(const MemoryMapConfig &config) : mapConfig(config)
+{
+    simAssert(config.hostPhysBytes > firstFrame,
+              "host physical space too small");
+    hostFrames = std::make_unique<FrameAllocator>(
+        firstFrame, config.hostPhysBytes);
+}
+
+MemoryMap::VmState &
+MemoryMap::vmState(VmId vm)
+{
+    auto it = vms.find(vm);
+    if (it != vms.end())
+        return it->second;
+
+    VmState state;
+    if (mapConfig.mode == ExecMode::Virtualized) {
+        state.guestFrames = std::make_unique<FrameAllocator>(
+            firstFrame, mapConfig.guestPhysBytes);
+        state.hostTable = std::make_unique<RadixPageTable>(
+            "ept.vm" + std::to_string(vm), *hostFrames);
+    }
+    return vms.emplace(vm, std::move(state)).first->second;
+}
+
+RadixPageTable &
+MemoryMap::guestTable(VmId vm, ProcessId pid)
+{
+    VmState &state = vmState(vm);
+    auto it = state.guestTables.find(pid);
+    if (it != state.guestTables.end())
+        return *it->second;
+
+    // Guest table nodes live in guest-physical space (virtualized) or
+    // directly in host-physical space (native).
+    FrameAllocator &node_frames =
+        mapConfig.mode == ExecMode::Virtualized ? *state.guestFrames
+                                                : *hostFrames;
+    auto table = std::make_unique<RadixPageTable>(
+        "pt.vm" + std::to_string(vm) + ".pid" + std::to_string(pid),
+        node_frames);
+    RadixPageTable &ref = *table;
+    state.guestTables.emplace(pid, std::move(table));
+    return ref;
+}
+
+RadixPageTable &
+MemoryMap::hostTable(VmId vm)
+{
+    if (mapConfig.mode != ExecMode::Virtualized)
+        fatal("hostTable() is only meaningful in virtualized mode");
+    return *vmState(vm).hostTable;
+}
+
+TranslationInfo
+MemoryMap::ensureMapped(VmId vm, ProcessId pid, Addr vaddr,
+                        PageSize size)
+{
+    TranslationInfo info;
+    info.size = size;
+
+    RadixPageTable &guest = guestTable(vm, pid);
+    VmState &state = vmState(vm);
+
+    RadixWalkPath guest_path = guest.walk(vaddr);
+    GuestPhysAddr gpa_page;
+    if (guest_path.present) {
+        simAssert(guest_path.size == size,
+                  "page-size conflict for a previously mapped region");
+        gpa_page = guest_path.pfn << pageShift(size);
+    } else {
+        FrameAllocator &data_frames =
+            mapConfig.mode == ExecMode::Virtualized ? *state.guestFrames
+                                                    : *hostFrames;
+        gpa_page = data_frames.allocate(size);
+        guest.map(pageNumber(vaddr, size), size,
+                  gpa_page >> pageShift(size));
+    }
+    info.gpa = gpa_page | pageOffset(vaddr, size);
+
+    if (mapConfig.mode == ExecMode::Native) {
+        info.hpa = info.gpa;
+        return info;
+    }
+
+    RadixPageTable &host = *state.hostTable;
+    RadixWalkPath host_path = host.walk(gpa_page);
+    HostPhysAddr hpa_page;
+    if (host_path.present) {
+        hpa_page = host_path.pfn << pageShift(host_path.size);
+        hpa_page |= pageOffset(gpa_page, host_path.size) &
+                    ~(pageBytes(size) - 1);
+    } else {
+        hpa_page = hostFrames->allocate(size);
+        host.map(pageNumber(gpa_page, size), size,
+                 hpa_page >> pageShift(size));
+    }
+    info.hpa = hpa_page | pageOffset(vaddr, size);
+    return info;
+}
+
+HostPhysAddr
+MemoryMap::hostTranslate(VmId vm, GuestPhysAddr gpa)
+{
+    if (mapConfig.mode == ExecMode::Native)
+        return gpa;
+
+    RadixPageTable &host = *vmState(vm).hostTable;
+    RadixWalkPath path = host.walk(gpa);
+    if (path.present) {
+        return (path.pfn << pageShift(path.size)) |
+               pageOffset(gpa, path.size);
+    }
+
+    // Lazily back page-table node frames with 4 KB host pages.
+    const HostPhysAddr hpa_page = hostFrames->allocate(PageSize::Small4K);
+    host.map(pageNumber(gpa, PageSize::Small4K), PageSize::Small4K,
+             hpa_page >> smallPageShift);
+    return hpa_page | pageOffset(gpa, PageSize::Small4K);
+}
+
+bool
+MemoryMap::unmapPage(VmId vm, ProcessId pid, Addr vaddr, PageSize)
+{
+    return guestTable(vm, pid).unmap(vaddr);
+}
+
+} // namespace pomtlb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The OS/hypervisor substrate: address-space bookkeeping for every VM
+ * and guest process.
+ *
+ * In virtualized mode each VM owns a guest-physical space served by
+ * its own allocator; guest page tables (one per process) map gVA->gPA
+ * and the VM's host (EPT) table maps gPA->hPA. In native mode there is
+ * a single dimension: per-process tables map VA directly to host
+ * frames and host translation is the identity.
+ *
+ * Mapping is demand-driven and costless (a page-fault-free idealised
+ * OS): all schemes see identical mappings, so the simplification
+ * cancels out of every comparison, as the paper's additive model
+ * assumes.
+ */
+
+#ifndef POMTLB_PAGETABLE_MEMORY_MAP_HH
+#define POMTLB_PAGETABLE_MEMORY_MAP_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/types.hh"
+#include "pagetable/radix_table.hh"
+
+namespace pomtlb
+{
+
+/** Sizing knobs for the simulated address spaces. */
+struct MemoryMapConfig
+{
+    ExecMode mode = ExecMode::Virtualized;
+    /** Host-physical bytes available to VMs (and native processes). */
+    Addr hostPhysBytes = Addr{256} << 30;
+    /** Guest-physical bytes per VM. */
+    Addr guestPhysBytes = Addr{64} << 30;
+};
+
+/** A resolved translation with both intermediate addresses. */
+struct TranslationInfo
+{
+    GuestPhysAddr gpa = 0;
+    HostPhysAddr hpa = 0;
+    PageSize size = PageSize::Small4K;
+};
+
+/** Owns all page tables and frame allocators of the machine. */
+class MemoryMap
+{
+  public:
+    explicit MemoryMap(const MemoryMapConfig &config);
+
+    /**
+     * Ensure vaddr's page is mapped for (vm, pid) at @p size — in the
+     * guest table and, in virtualized mode, backed in the VM's host
+     * table. Idempotent; returns the final translation.
+     */
+    TranslationInfo ensureMapped(VmId vm, ProcessId pid, Addr vaddr,
+                                 PageSize size);
+
+    /**
+     * Host-translate @p gpa for @p vm without timing. Lazily backs
+     * unmapped guest-physical frames (page-table node frames) with
+     * 4 KB host pages. Identity in native mode.
+     */
+    HostPhysAddr hostTranslate(VmId vm, GuestPhysAddr gpa);
+
+    /** The guest (or native) page table of (vm, pid). */
+    RadixPageTable &guestTable(VmId vm, ProcessId pid);
+
+    /** The VM's host (EPT) table. Fatal in native mode. */
+    RadixPageTable &hostTable(VmId vm);
+
+    /** Drop one page's mapping (shootdown experiments). */
+    bool unmapPage(VmId vm, ProcessId pid, Addr vaddr, PageSize size);
+
+    ExecMode mode() const { return mapConfig.mode; }
+    std::uint64_t vmCount() const { return vms.size(); }
+
+    /** Total host-physical bytes handed out so far. */
+    Addr hostBytesAllocated() const
+    {
+        return hostFrames->bytesAllocated();
+    }
+
+  private:
+    struct VmState
+    {
+        std::unique_ptr<FrameAllocator> guestFrames;
+        std::unique_ptr<RadixPageTable> hostTable;
+        std::map<ProcessId, std::unique_ptr<RadixPageTable>> guestTables;
+    };
+
+    VmState &vmState(VmId vm);
+
+    MemoryMapConfig mapConfig;
+    std::unique_ptr<FrameAllocator> hostFrames;
+    std::map<VmId, VmState> vms;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_PAGETABLE_MEMORY_MAP_HH

@@ -1,0 +1,164 @@
+#include "pagetable/radix_table.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+FrameAllocator::FrameAllocator(Addr base, Addr limit_addr)
+    : baseAddr(alignUp(base, smallPageBytes)),
+      next(alignUp(base, smallPageBytes)),
+      limit(limit_addr)
+{
+    simAssert(baseAddr < limit, "frame allocator region is empty");
+}
+
+Addr
+FrameAllocator::allocate(PageSize size)
+{
+    const Addr bytes = pageBytes(size);
+    const Addr frame = alignUp(next, bytes);
+    if (frame + bytes > limit)
+        fatal("frame allocator exhausted (base 0x", std::hex, baseAddr,
+              ", limit 0x", limit, ")");
+    next = frame + bytes;
+    return frame;
+}
+
+Addr
+FrameAllocator::allocateTableNode()
+{
+    return allocate(PageSize::Small4K);
+}
+
+RadixPageTable::RadixPageTable(std::string name,
+                               FrameAllocator &allocator)
+    : tableName(std::move(name)), frames(allocator)
+{
+    root = std::make_unique<Node>(frames.allocateTableNode());
+    nodes = 1;
+}
+
+unsigned
+RadixPageTable::levelIndex(Addr vaddr, unsigned level)
+{
+    // Level 4 indexes bits 47..39, level 1 indexes bits 20..12.
+    const unsigned shift = smallPageShift + 9 * (level - 1);
+    return static_cast<unsigned>(extractBits(vaddr, shift, 9));
+}
+
+void
+RadixPageTable::map(PageNum vpn, PageSize size, PageNum pfn)
+{
+    const Addr vaddr = vpn << pageShift(size);
+    const unsigned leaf_level = (size == PageSize::Small4K) ? 1 : 2;
+
+    Node *node = root.get();
+    for (unsigned level = 4; level > leaf_level; --level) {
+        Entry &entry = node->slots[levelIndex(vaddr, level)];
+        if (entry.state == Entry::State::Leaf) {
+            panic("table '", tableName, "': page-size conflict at level ",
+                  level, " mapping vaddr 0x", std::hex, vaddr);
+        }
+        if (entry.state == Entry::State::NotPresent) {
+            entry.child =
+                std::make_unique<Node>(frames.allocateTableNode());
+            entry.state = Entry::State::Child;
+            ++nodes;
+        }
+        node = entry.child.get();
+    }
+
+    Entry &leaf = node->slots[levelIndex(vaddr, leaf_level)];
+    if (leaf.state == Entry::State::Child) {
+        panic("table '", tableName, "': mapping a ", pageSizeName(size),
+              " page over an existing subtree at vaddr 0x", std::hex,
+              vaddr);
+    }
+    if (leaf.state == Entry::State::NotPresent)
+        ++mappedPages;
+    leaf.state = Entry::State::Leaf;
+    leaf.pfn = pfn;
+}
+
+bool
+RadixPageTable::isMapped(Addr vaddr) const
+{
+    const Node *node = root.get();
+    for (unsigned level = 4; level >= 1; --level) {
+        const Entry &entry = node->slots[levelIndex(vaddr, level)];
+        if (entry.state == Entry::State::Leaf)
+            return true;
+        if (entry.state == Entry::State::NotPresent)
+            return false;
+        node = entry.child.get();
+    }
+    return false;
+}
+
+RadixWalkPath
+RadixPageTable::walk(Addr vaddr, unsigned first_level) const
+{
+    simAssert(first_level >= 1 && first_level <= 4,
+              "walk must start at level 1..4");
+    RadixWalkPath path;
+
+    // Descend silently (no recorded reads) to the starting level —
+    // this models a PSC hit that already supplied the upper entries.
+    const Node *node = root.get();
+    for (unsigned level = 4; level > first_level; --level) {
+        const Entry &entry = node->slots[levelIndex(vaddr, level)];
+        if (entry.state == Entry::State::Leaf) {
+            // The PSC claimed a deeper entry but the leaf is here
+            // (can't happen with consistent PSC fills).
+            panic("table '", tableName,
+                  "': PSC skip descended past a leaf");
+        }
+        if (entry.state == Entry::State::NotPresent)
+            return path; // not mapped
+        node = entry.child.get();
+    }
+
+    for (unsigned level = first_level; level >= 1; --level) {
+        const Entry &entry = node->slots[levelIndex(vaddr, level)];
+        path.pteAddr[path.reads] =
+            node->frame + levelIndex(vaddr, level) * entryBytes;
+        path.pteLevel[path.reads] = level;
+        ++path.reads;
+
+        if (entry.state == Entry::State::NotPresent)
+            return path; // reads up to the absent entry still happened
+
+        if (entry.state == Entry::State::Leaf) {
+            path.present = true;
+            path.pfn = entry.pfn;
+            path.size =
+                (level == 1) ? PageSize::Small4K : PageSize::Large2M;
+            return path;
+        }
+        node = entry.child.get();
+    }
+    return path;
+}
+
+bool
+RadixPageTable::unmap(Addr vaddr)
+{
+    Node *node = root.get();
+    for (unsigned level = 4; level >= 1; --level) {
+        Entry &entry = node->slots[levelIndex(vaddr, level)];
+        if (entry.state == Entry::State::Leaf) {
+            entry.state = Entry::State::NotPresent;
+            entry.pfn = 0;
+            --mappedPages;
+            return true;
+        }
+        if (entry.state == Entry::State::NotPresent)
+            return false;
+        node = entry.child.get();
+    }
+    return false;
+}
+
+} // namespace pomtlb

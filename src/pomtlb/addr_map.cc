@@ -1,0 +1,47 @@
+#include "pomtlb/addr_map.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+PomTlbAddressMap::PomTlbAddressMap(const PomTlbConfig &config)
+    : setBytes(config.entryBytes * config.associativity),
+      unified(config.unifiedOrganization),
+      ways(config.associativity)
+{
+    config.validate();
+    // Cacheable configurations keep one set per 64 B line (enforced
+    // by SystemConfig::validate()); the associativity ablation may
+    // use smaller sets with caching disabled.
+    if (unified) {
+        // One shared array holds both page sizes (footnote 1).
+        smallSets = config.capacityBytes / setBytes;
+        largeSets = smallSets;
+        smallBase = config.baseAddress;
+        largeBase = config.baseAddress;
+    } else {
+        smallSets = config.smallPartitionBytes() / setBytes;
+        largeSets = config.largePartitionBytes() / setBytes;
+        smallBase = config.baseAddress;
+        largeBase = smallBase + config.smallPartitionBytes();
+    }
+}
+
+std::optional<PageSize>
+PomTlbAddressMap::partitionOf(Addr addr) const
+{
+    if (unified) {
+        if (addr >= smallBase && addr < smallBase + smallSets * setBytes)
+            return PageSize::Small4K; // the single shared array
+        return std::nullopt;
+    }
+    if (addr >= smallBase && addr < largeBase)
+        return PageSize::Small4K;
+    if (addr >= largeBase && addr < rangeEnd())
+        return PageSize::Large2M;
+    return std::nullopt;
+}
+
+} // namespace pomtlb

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The in-DRAM POM-TLB entry array: two 4-way associative partitions
+ * (4 KB and 2 MB pages) whose replacement state is the 2-bit LRU field
+ * carried in each entry's attribute byte (Section 2.2, "Entry
+ * Replacement") — fetched with the set in a single 64 B burst, so the
+ * victim choice costs no extra DRAM access.
+ *
+ * The array holds the entries themselves; DRAM timing lives in the
+ * PomTlb device that wraps it.
+ */
+
+#ifndef POMTLB_POMTLB_ARRAY_HH
+#define POMTLB_POMTLB_ARRAY_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "pomtlb/addr_map.hh"
+#include "tlb/entry.hh"
+
+namespace pomtlb
+{
+
+/** Result of an associative search of one POM-TLB set. */
+struct PomTlbArrayResult
+{
+    bool hit = false;
+    PageNum pfn = 0;
+};
+
+/** Entry storage for one partition of the POM-TLB. */
+class PomTlbPartition
+{
+  public:
+    PomTlbPartition(std::string name, std::uint64_t sets,
+                    unsigned ways);
+
+    /** Associative search of set @p set; refreshes 2-bit LRU on hit. */
+    PomTlbArrayResult lookup(std::uint64_t set, PageNum vpn, VmId vm,
+                             ProcessId pid, PageSize size);
+
+    /** Install a translation, evicting via the in-attr LRU bits. */
+    void insert(std::uint64_t set, PageNum vpn, VmId vm, ProcessId pid,
+                PageSize size, PageNum pfn);
+
+    /** Drop one page's entry; true if found. */
+    bool invalidatePage(std::uint64_t set, PageNum vpn, VmId vm,
+                        ProcessId pid, PageSize size);
+
+    /** Drop all entries of @p vm; returns the count. */
+    std::uint64_t invalidateVm(VmId vm);
+
+    std::uint64_t hits() const { return hitCount.value(); }
+    std::uint64_t misses() const { return missCount.value(); }
+    double hitRate() const;
+    std::uint64_t validEntryCount() const { return validEntries; }
+    std::uint64_t setCount() const { return sets; }
+    void resetStats();
+
+  private:
+    /** Age every other valid entry in the set; set way's age to 0. */
+    void makeYoungest(TlbEntry *base, unsigned way);
+
+    std::string partitionName;
+    std::uint64_t sets;
+    unsigned ways;
+    std::vector<TlbEntry> entries;
+    std::uint64_t validEntries = 0;
+
+    Counter hitCount;
+    Counter missCount;
+    Counter insertions;
+    Counter evictions;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_POMTLB_ARRAY_HH

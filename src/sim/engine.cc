@@ -1,0 +1,261 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+std::uint64_t
+RunResult::totalTranslationCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores)
+        total += core.translationCycles;
+    return total;
+}
+
+std::uint64_t
+RunResult::totalLastLevelMisses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores)
+        total += core.lastLevelTlbMisses;
+    return total;
+}
+
+std::uint64_t
+RunResult::totalRefs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores)
+        total += core.refs;
+    return total;
+}
+
+std::uint64_t
+RunResult::totalPageWalks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores)
+        total += core.pageWalks;
+    return total;
+}
+
+std::uint64_t
+RunResult::totalShootdowns() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores)
+        total += core.shootdowns;
+    return total;
+}
+
+double
+RunResult::avgPenaltyPerMiss() const
+{
+    double weighted = 0.0;
+    std::uint64_t misses = 0;
+    for (const auto &core : cores) {
+        weighted += core.avgPenaltyPerMiss *
+                    static_cast<double>(core.lastLevelTlbMisses);
+        misses += core.lastLevelTlbMisses;
+    }
+    return misses ? weighted / static_cast<double>(misses) : 0.0;
+}
+
+double
+RunResult::walkFraction() const
+{
+    const std::uint64_t misses = totalLastLevelMisses();
+    return misses ? static_cast<double>(totalPageWalks()) /
+                        static_cast<double>(misses)
+                  : 0.0;
+}
+
+SimulationEngine::SimulationEngine(Machine &machine_ref,
+                                   const BenchmarkProfile &bench,
+                                   const EngineConfig &config)
+    : machine(machine_ref), profile(bench), engineConfig(config)
+{
+    const unsigned cores = machine.numCores();
+
+    coreVm = config.coreVm;
+    coreVm.resize(cores, coreVm.empty() ? VmId{1} : coreVm.back());
+
+    const std::uint64_t seed =
+        config.seed ^ machine.config().seed;
+    sources.reserve(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        sources.push_back(
+            std::make_unique<GeneratorSource>(profile, core, seed));
+    }
+    instructions.assign(cores, 0);
+    pageWalks.assign(cores, 0);
+    shootdowns.assign(cores, 0);
+}
+
+SimulationEngine::SimulationEngine(
+    Machine &machine_ref, const BenchmarkProfile &bench,
+    const EngineConfig &config,
+    std::vector<std::unique_ptr<TraceSource>> trace_sources)
+    : machine(machine_ref), profile(bench), engineConfig(config),
+      sources(std::move(trace_sources))
+{
+    const unsigned cores = machine.numCores();
+    simAssert(sources.size() == cores,
+              "need exactly one trace source per core");
+    coreVm = config.coreVm;
+    coreVm.resize(cores, coreVm.empty() ? VmId{1} : coreVm.back());
+    instructions.assign(cores, 0);
+    pageWalks.assign(cores, 0);
+    shootdowns.assign(cores, 0);
+}
+
+void
+SimulationEngine::step(std::vector<Cycles> &clocks,
+                       std::vector<std::uint64_t> &refs_done,
+                       std::uint64_t target_refs)
+{
+    // Advance the core that is earliest in simulated time and still
+    // has references to issue.
+    unsigned core = 0;
+    bool found = false;
+    Cycles best = 0;
+    for (unsigned c = 0; c < clocks.size(); ++c) {
+        if (refs_done[c] >= target_refs)
+            continue;
+        if (!found || clocks[c] < best) {
+            best = clocks[c];
+            core = c;
+            found = true;
+        }
+    }
+    simAssert(found, "step() called with all cores finished");
+
+    const TraceRecord record = sources[core]->next();
+    const VmId vm = coreVm[core];
+    // Multithreaded workloads share one address space (one pid);
+    // rate-mode copies each run as their own process.
+    const ProcessId pid = static_cast<ProcessId>(
+        profile.multithreaded ? engineConfig.pidBase
+                              : engineConfig.pidBase + core);
+
+    // Non-memory instructions retire at one per cycle.
+    clocks[core] += record.instGap;
+    instructions[core] += record.instGap + 1;
+
+    const MmuResult translation = machine.mmu(core).translate(
+        record.vaddr, record.pageSize, vm, pid, clocks[core]);
+    clocks[core] += translation.cycles;
+    if (translation.walked)
+        ++pageWalks[core];
+
+    const HierarchyAccessResult data = machine.hierarchy().accessData(
+        core, translation.hpa, record.type, clocks[core]);
+    clocks[core] += data.latency;
+
+    // Periodic TLB shootdowns (disabled by default).
+    if (engineConfig.shootdownIntervalRefs > 0 &&
+        ++refsSinceShootdown >= engineConfig.shootdownIntervalRefs) {
+        refsSinceShootdown = 0;
+        machine.shootdownPage(record.vaddr, record.pageSize, vm, pid);
+        clocks[core] += engineConfig.shootdownCycles;
+        ++shootdowns[core];
+    }
+
+    ++refs_done[core];
+}
+
+void
+SimulationEngine::prepopulate()
+{
+    const unsigned cores = machine.numCores();
+    const std::uint64_t per_core = engineConfig.warmupRefsPerCore +
+                                   engineConfig.refsPerCore;
+
+    std::unordered_set<std::uint64_t> seen;
+    for (unsigned core = 0; core < cores; ++core) {
+        // Replay exactly the stream the timed run will issue, then
+        // rewind the source for the real run.
+        TraceSource &dry = *sources[core];
+        dry.rewind();
+        const VmId vm = coreVm[core];
+        const ProcessId pid = static_cast<ProcessId>(
+            profile.multithreaded ? engineConfig.pidBase
+                                  : engineConfig.pidBase + core);
+        for (std::uint64_t i = 0; i < per_core; ++i) {
+            const TraceRecord record = dry.next();
+            const Addr page = pageBase(record.vaddr, record.pageSize);
+            // Dedup key covers (page, pid, vm): the same page may
+            // need separate entries per process and per VM.
+            const std::uint64_t key =
+                mix64(page) ^
+                mix64((static_cast<std::uint64_t>(pid) << 16) | vm);
+            if (!seen.insert(key).second)
+                continue;
+            const TranslationInfo info = machine.memoryMap().ensureMapped(
+                vm, pid, record.vaddr, record.pageSize);
+            machine.scheme().prewarm(
+                core, record.vaddr, record.pageSize, vm, pid,
+                info.hpa >> pageShift(record.pageSize));
+        }
+        dry.rewind();
+    }
+}
+
+RunResult
+SimulationEngine::run()
+{
+    const unsigned cores = machine.numCores();
+    std::vector<Cycles> clocks(cores, 0);
+    std::vector<std::uint64_t> refs_done(cores, 0);
+
+    if (engineConfig.prepopulate)
+        prepopulate();
+
+    // Warmup: populate TLBs, caches, page tables, POM-TLB.
+    const std::uint64_t warmup = engineConfig.warmupRefsPerCore;
+    if (warmup > 0) {
+        std::uint64_t remaining =
+            static_cast<std::uint64_t>(cores) * warmup;
+        while (remaining--)
+            step(clocks, refs_done, warmup);
+        machine.resetStats();
+        std::fill(instructions.begin(), instructions.end(), 0);
+        std::fill(pageWalks.begin(), pageWalks.end(), 0);
+        std::fill(shootdowns.begin(), shootdowns.end(), 0);
+    }
+
+    // Measured phase.
+    const std::uint64_t target =
+        warmup + engineConfig.refsPerCore;
+    std::vector<Cycles> start_clocks = clocks;
+    std::uint64_t remaining =
+        static_cast<std::uint64_t>(cores) * engineConfig.refsPerCore;
+    while (remaining--)
+        step(clocks, refs_done, target);
+
+    RunResult result;
+    result.cores.resize(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        CoreRunStats &stats = result.cores[core];
+        const Mmu &mmu = machine.mmu(core);
+        stats.refs = engineConfig.refsPerCore;
+        stats.instructions = instructions[core];
+        stats.cycles = clocks[core] - start_clocks[core];
+        stats.translationCycles = mmu.totalTranslationCycles();
+        stats.l1TlbHits = mmu.l1HitCount();
+        stats.l2TlbHits = mmu.l2HitCount();
+        stats.lastLevelTlbMisses = mmu.lastLevelMissCount();
+        stats.avgPenaltyPerMiss = mmu.avgPenaltyPerMiss();
+        stats.pageWalks = pageWalks[core];
+        stats.shootdowns = shootdowns[core];
+    }
+    return result;
+}
+
+} // namespace pomtlb

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The trace-driven simulation engine.
+ *
+ * Each core runs its own generator stream; the engine always advances
+ * the core with the smallest local clock, so the cores' memory
+ * traffic interleaves at the shared L3/DRAM the way a multicore's
+ * would (the Ramulator-style cadence of Section 3.2). Non-memory
+ * instructions advance a core's clock at one instruction per cycle;
+ * memory references charge translation plus data-path latency.
+ *
+ * A warmup phase runs before statistics are reset, so reported rates
+ * are steady-state.
+ */
+
+#ifndef POMTLB_SIM_ENGINE_HH
+#define POMTLB_SIM_ENGINE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/machine.hh"
+#include "trace/profile.hh"
+#include "trace/source.hh"
+
+namespace pomtlb
+{
+
+/** Engine run parameters. */
+struct EngineConfig
+{
+    /** Measured references per core. */
+    std::uint64_t refsPerCore = 150000;
+    /** Warmup references per core (stats reset afterwards). */
+    std::uint64_t warmupRefsPerCore = 120000;
+    /** VM each core's workload runs in (resized to core count). */
+    std::vector<VmId> coreVm;
+    /** Process id base: core c runs as pid base + c. */
+    ProcessId pidBase = 1;
+    /** Trace seed (combined with the system seed). */
+    std::uint64_t seed = 42;
+    /**
+     * TLB shootdown injection (Section 2.2): every
+     * @c shootdownIntervalRefs references machine-wide, the page of
+     * the triggering reference is shot down across all cores and the
+     * initiating core is charged @c shootdownCycles (IPI + handler
+     * cost). 0 disables injection (the paper notes shootdowns are
+     * rare; this knob quantifies "rare").
+     */
+    std::uint64_t shootdownIntervalRefs = 0;
+    Cycles shootdownCycles = 500;
+    /**
+     * Steady-state pre-population: before timed simulation, a dry
+     * enumeration of the whole trace installs every touched page in
+     * the page tables and in the scheme's persistent translation
+     * store (POM-TLB / TSB). This models workloads that have run far
+     * longer than the simulated window — the regime the paper
+     * measures — so first-touch cold misses do not pollute the
+     * steady-state statistics. SRAM TLBs and data caches still warm
+     * up normally during the warmup phase.
+     */
+    bool prepopulate = true;
+};
+
+/** Per-core results of a run. */
+struct CoreRunStats
+{
+    std::uint64_t refs = 0;
+    InstCount instructions = 0;
+    Cycles cycles = 0;
+    /** Post-L1-TLB translation cycles (T_post in DESIGN.md). */
+    std::uint64_t translationCycles = 0;
+    std::uint64_t l1TlbHits = 0;
+    std::uint64_t l2TlbHits = 0;
+    std::uint64_t lastLevelTlbMisses = 0;
+    /** Average scheme cycles per last-level TLB miss (the paper's P). */
+    double avgPenaltyPerMiss = 0.0;
+    std::uint64_t pageWalks = 0;
+    std::uint64_t shootdowns = 0;
+};
+
+/** Whole-run results. */
+struct RunResult
+{
+    std::vector<CoreRunStats> cores;
+
+    std::uint64_t totalTranslationCycles() const;
+    std::uint64_t totalLastLevelMisses() const;
+    std::uint64_t totalRefs() const;
+    std::uint64_t totalPageWalks() const;
+    std::uint64_t totalShootdowns() const;
+    /** Machine-wide average penalty per last-level TLB miss. */
+    double avgPenaltyPerMiss() const;
+    /** Fraction of last-level TLB misses that needed a page walk. */
+    double walkFraction() const;
+};
+
+/** Drives one benchmark through one machine. */
+class SimulationEngine
+{
+  public:
+    /**
+     * @param machine  The machine to drive (state persists between
+     *                 run() calls; construct fresh machines for
+     *                 independent experiments).
+     * @param profile  Benchmark to generate traces for.
+     * @param config   Run length, warmup, VM placement, seed.
+     */
+    SimulationEngine(Machine &machine, const BenchmarkProfile &profile,
+                     const EngineConfig &config);
+
+    /**
+     * Drive the machine from externally supplied trace sources (one
+     * per core — e.g. recorded trace files). @p profile supplies the
+     * workload metadata (multithreaded/pid policy and the Table 2
+     * constants used by the performance model).
+     */
+    SimulationEngine(Machine &machine, const BenchmarkProfile &profile,
+                     const EngineConfig &config,
+                     std::vector<std::unique_ptr<TraceSource>> sources);
+
+    /** Run warmup + measured phases; returns measured-phase stats. */
+    RunResult run();
+
+  private:
+    /** Advance the lowest-clock core by one reference. */
+    void step(std::vector<Cycles> &clocks,
+              std::vector<std::uint64_t> &refs_done,
+              std::uint64_t target_refs);
+
+    /** Dry-run the whole trace to pre-install steady-state pages. */
+    void prepopulate();
+
+    Machine &machine;
+    BenchmarkProfile profile;
+    EngineConfig engineConfig;
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    std::vector<VmId> coreVm;
+    std::vector<InstCount> instructions;
+    std::vector<std::uint64_t> pageWalks;
+    std::vector<std::uint64_t> shootdowns;
+    std::uint64_t refsSinceShootdown = 0;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_ENGINE_HH

@@ -1,0 +1,116 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "sim/machine.hh"
+#include "sim/perf_model.hh"
+
+namespace pomtlb
+{
+
+SchemeRunSummary
+runScheme(const BenchmarkProfile &profile, SchemeKind scheme,
+          const ExperimentConfig &config)
+{
+    Machine machine(config.system, scheme);
+    SimulationEngine engine(machine, profile, config.engine);
+
+    SchemeRunSummary summary;
+    summary.benchmark = profile.name;
+    summary.scheme = scheme;
+    summary.mode = config.system.mode;
+    summary.run = engine.run();
+
+    summary.translationCycles = summary.run.totalTranslationCycles();
+    summary.avgPenaltyPerMiss = summary.run.avgPenaltyPerMiss();
+    summary.walkFraction = summary.run.walkFraction();
+    summary.l3DataHitRate =
+        machine.hierarchy().l3d().hitRate(LineKind::Data);
+
+    if (PomTlbScheme *pom = machine.pomTlbScheme()) {
+        summary.pomL2CacheServiceRate = pom->l2CacheServiceRate();
+        summary.pomL3CacheServiceRate = pom->l3CacheServiceRate();
+        summary.pomDramServiceRate = pom->pomDramServiceRate();
+        summary.sizePredictorAccuracy = pom->sizePredictorAccuracy();
+        summary.bypassPredictorAccuracy =
+            pom->bypassPredictorAccuracy();
+        summary.dieStackedRowBufferHitRate =
+            machine.pomTlbDevice()->rowBufferHitRate();
+    }
+    return summary;
+}
+
+namespace
+{
+
+/** Translation-cost ratio of a scheme run vs. the baseline run. */
+double
+costRatio(const SchemeRunSummary &scheme,
+          const SchemeRunSummary &baseline)
+{
+    if (baseline.translationCycles == 0)
+        return 1.0;
+    return static_cast<double>(scheme.translationCycles) /
+           static_cast<double>(baseline.translationCycles);
+}
+
+} // namespace
+
+BenchmarkComparison
+compareSchemes(const BenchmarkProfile &profile,
+               const ExperimentConfig &config)
+{
+    BenchmarkComparison comparison;
+    comparison.benchmark = profile.name;
+
+    comparison.baseline =
+        runScheme(profile, SchemeKind::NestedWalk, config);
+    comparison.pomTlb = runScheme(profile, SchemeKind::PomTlb, config);
+    comparison.sharedL2 =
+        runScheme(profile, SchemeKind::SharedL2, config);
+    comparison.tsb = runScheme(profile, SchemeKind::Tsb, config);
+
+    comparison.pomCostRatio =
+        costRatio(comparison.pomTlb, comparison.baseline);
+    comparison.sharedCostRatio =
+        costRatio(comparison.sharedL2, comparison.baseline);
+    comparison.tsbCostRatio =
+        costRatio(comparison.tsb, comparison.baseline);
+
+    const ExecMode mode = config.system.mode;
+    comparison.pomImprovementPct = PerfModel::improvementPct(
+        profile, mode, comparison.pomCostRatio);
+    comparison.sharedImprovementPct = PerfModel::improvementPct(
+        profile, mode, comparison.sharedCostRatio);
+    comparison.tsbImprovementPct = PerfModel::improvementPct(
+        profile, mode, comparison.tsbCostRatio);
+    return comparison;
+}
+
+double
+pomImprovementOnly(const BenchmarkProfile &profile,
+                   const ExperimentConfig &config)
+{
+    const SchemeRunSummary baseline =
+        runScheme(profile, SchemeKind::NestedWalk, config);
+    const SchemeRunSummary pom =
+        runScheme(profile, SchemeKind::PomTlb, config);
+    return PerfModel::improvementPct(profile, config.system.mode,
+                                     costRatio(pom, baseline));
+}
+
+ExperimentConfig
+defaultExperimentConfig()
+{
+    ExperimentConfig config;
+    // POMTLB_QUICK trims run lengths for smoke testing; the default
+    // lengths are what the benches use to regenerate the figures.
+    if (std::getenv("POMTLB_QUICK") != nullptr) {
+        config.engine.refsPerCore = 20000;
+        config.engine.warmupRefsPerCore = 5000;
+    }
+    return config;
+}
+
+} // namespace pomtlb

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * High-level experiment runners shared by the bench binaries, the
+ * examples, and the integration tests: build a machine for a scheme,
+ * drive a benchmark through it, and summarise the statistics every
+ * figure of the paper needs.
+ */
+
+#ifndef POMTLB_SIM_EXPERIMENT_HH
+#define POMTLB_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/engine.hh"
+#include "sim/scheme.hh"
+#include "trace/profile.hh"
+
+namespace pomtlb
+{
+
+/** Everything configurable about one experiment. */
+struct ExperimentConfig
+{
+    SystemConfig system = SystemConfig::table1();
+    EngineConfig engine;
+};
+
+/** Flattened summary of one (benchmark, scheme) run. */
+struct SchemeRunSummary
+{
+    std::string benchmark;
+    SchemeKind scheme = SchemeKind::NestedWalk;
+    ExecMode mode = ExecMode::Virtualized;
+
+    RunResult run;
+
+    /** Sum over cores of post-L1 translation cycles (T_post). */
+    std::uint64_t translationCycles = 0;
+    /** Average scheme cycles per last-level TLB miss (paper's P). */
+    double avgPenaltyPerMiss = 0.0;
+    /** Fraction of last-level TLB misses requiring a page walk. */
+    double walkFraction = 0.0;
+
+    // POM-TLB specific (zero for other schemes).
+    double pomL2CacheServiceRate = 0.0;
+    double pomL3CacheServiceRate = 0.0;
+    double pomDramServiceRate = 0.0;
+    double sizePredictorAccuracy = 0.0;
+    double bypassPredictorAccuracy = 0.0;
+    double dieStackedRowBufferHitRate = 0.0;
+
+    // Data-cache behaviour (all schemes).
+    double l3DataHitRate = 0.0;
+};
+
+/** Build a machine for (config, scheme), run @p profile, summarise. */
+SchemeRunSummary runScheme(const BenchmarkProfile &profile,
+                           SchemeKind scheme,
+                           const ExperimentConfig &config);
+
+/** One benchmark across all four schemes, with Eq. 4-5 improvements. */
+struct BenchmarkComparison
+{
+    std::string benchmark;
+    SchemeRunSummary baseline;
+    SchemeRunSummary pomTlb;
+    SchemeRunSummary sharedL2;
+    SchemeRunSummary tsb;
+
+    /** Simulated translation-cost ratios vs. the baseline run. */
+    double pomCostRatio = 0.0;
+    double sharedCostRatio = 0.0;
+    double tsbCostRatio = 0.0;
+
+    /** Figure 8 improvements (%). */
+    double pomImprovementPct = 0.0;
+    double sharedImprovementPct = 0.0;
+    double tsbImprovementPct = 0.0;
+};
+
+/**
+ * Run all four schemes for @p profile and compute Figure 8's
+ * improvement percentages from the paper's additive model.
+ */
+BenchmarkComparison compareSchemes(const BenchmarkProfile &profile,
+                                   const ExperimentConfig &config);
+
+/**
+ * POM-TLB-vs-baseline-only comparison (faster; used by sensitivity
+ * and ablation benches). @p pom_config_system lets the caller tweak
+ * the POM-TLB machine independently of the baseline machine.
+ */
+double pomImprovementOnly(const BenchmarkProfile &profile,
+                          const ExperimentConfig &config);
+
+/** Scale run length down for quick CI runs via an env-style factor. */
+ExperimentConfig defaultExperimentConfig();
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_EXPERIMENT_HH

@@ -1,0 +1,160 @@
+#include "sim/machine.hh"
+#include <ostream>
+
+
+#include "baseline/nested_scheme.hh"
+#include "baseline/shared_l2_scheme.hh"
+#include "baseline/tsb_scheme.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::NestedWalk:
+        return "Baseline";
+      case SchemeKind::PomTlb:
+        return "POM-TLB";
+      case SchemeKind::SharedL2:
+        return "Shared_L2";
+      case SchemeKind::Tsb:
+        return "TSB";
+    }
+    return "?";
+}
+
+Machine::Machine(const SystemConfig &config, SchemeKind scheme_kind)
+    : systemConfig(config), kind(scheme_kind)
+{
+    systemConfig.dieStacked.coreFreqGhz = systemConfig.coreFreqGhz;
+    systemConfig.mainMemory.coreFreqGhz = systemConfig.coreFreqGhz;
+    systemConfig.validate();
+
+    mainMem = std::make_unique<DramController>(systemConfig.mainMemory);
+    dieStacked =
+        std::make_unique<DramController>(systemConfig.dieStacked);
+
+    MemoryMapConfig map_config;
+    map_config.mode = systemConfig.mode;
+    memMap = std::make_unique<MemoryMap>(map_config);
+
+    if (systemConfig.dieStackedL4Cache) {
+        // The HBM standard provides multiple channels (Section 2.2);
+        // the L4 cache gets its own so it never contends with
+        // POM-TLB traffic.
+        DramConfig l4_config = systemConfig.dieStacked;
+        l4_config.name = "die-stacked-l4";
+        l4Channel = std::make_unique<DramController>(l4_config);
+    }
+    dataHierarchy = std::make_unique<DataHierarchy>(
+        systemConfig, *mainMem, l4Channel.get());
+
+    walkers.reserve(systemConfig.numCores);
+    for (unsigned core = 0; core < systemConfig.numCores; ++core) {
+        walkers.push_back(std::make_unique<PageWalker>(
+            core, *memMap, *dataHierarchy, systemConfig.psc));
+    }
+
+    switch (kind) {
+      case SchemeKind::NestedWalk:
+        translationScheme = std::make_unique<NestedWalkScheme>(walkers);
+        break;
+      case SchemeKind::PomTlb:
+        pomTlb = std::make_unique<PomTlb>(systemConfig.pomTlb,
+                                          *dieStacked);
+        translationScheme = std::make_unique<PomTlbScheme>(
+            systemConfig.pomTlb, *pomTlb, *dataHierarchy, walkers);
+        break;
+      case SchemeKind::SharedL2: {
+        // Combine the private L2 TLB capacities into one shared
+        // structure; its latency reflects the larger SRAM array plus
+        // the interconnect hop (see analysis/cacti.hh for the trend).
+        TlbConfig shared = systemConfig.l2Tlb;
+        shared.name = "shared_l2tlb";
+        shared.entries *= systemConfig.numCores;
+        shared.accessLatency = 24;
+        translationScheme =
+            std::make_unique<SharedL2Scheme>(shared, walkers);
+        break;
+      }
+      case SchemeKind::Tsb: {
+        // The software buffer lives at the top of host-physical
+        // memory, far above anything the frame allocator hands out.
+        MemoryMapConfig defaults;
+        const Addr tsb_base =
+            defaults.hostPhysBytes - systemConfig.tsb.capacityBytes;
+        translationScheme = std::make_unique<TsbScheme>(
+            systemConfig.tsb, tsb_base, *dataHierarchy, walkers);
+        break;
+      }
+    }
+
+    mmus.reserve(systemConfig.numCores);
+    for (unsigned core = 0; core < systemConfig.numCores; ++core) {
+        mmus.push_back(std::make_unique<Mmu>(systemConfig, core,
+                                             *translationScheme));
+    }
+}
+
+PomTlbScheme *
+Machine::pomTlbScheme()
+{
+    if (kind != SchemeKind::PomTlb)
+        return nullptr;
+    return static_cast<PomTlbScheme *>(translationScheme.get());
+}
+
+void
+Machine::shootdownVm(VmId vm)
+{
+    for (auto &mmu : mmus)
+        mmu->invalidateVm(vm);
+    for (auto &walker : walkers)
+        walker->invalidateVm(vm);
+    translationScheme->invalidateVm(vm);
+}
+
+void
+Machine::shootdownPage(Addr vaddr, PageSize size, VmId vm,
+                       ProcessId pid)
+{
+    const PageNum vpn = pageNumber(vaddr, size);
+    for (auto &mmu : mmus)
+        mmu->tlbs().invalidatePage(vpn, size, vm, pid);
+    translationScheme->invalidatePage(vaddr, size, vm, pid);
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    mainMem->stats().dump(os);
+    dieStacked->stats().dump(os);
+    for (unsigned core = 0; core < systemConfig.numCores; ++core) {
+        mmus[core]->stats().dump(os);
+        dataHierarchy->l1d(core).stats().dump(os);
+        dataHierarchy->l2d(core).stats().dump(os);
+    }
+    dataHierarchy->l3d().stats().dump(os);
+}
+
+void
+Machine::resetStats()
+{
+    for (auto &mmu : mmus)
+        mmu->resetStats();
+    for (auto &walker : walkers)
+        walker->resetStats();
+    dataHierarchy->resetStats();
+    if (DramCache *l4 = dataHierarchy->l4Cache())
+        l4->resetStats();
+    mainMem->resetStats();
+    if (l4Channel)
+        l4Channel->resetStats();
+    dieStacked->resetStats();
+    translationScheme->resetStats();
+}
+
+} // namespace pomtlb

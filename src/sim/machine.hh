@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The full simulated machine: cores (MMUs + walkers), the data-cache
+ * hierarchy, main-memory and die-stacked DRAM channels, the OS/VM
+ * memory map, and one translation scheme. Construct one per
+ * experiment configuration.
+ */
+
+#ifndef POMTLB_SIM_MACHINE_HH
+#define POMTLB_SIM_MACHINE_HH
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/config.hh"
+#include "dram/controller.hh"
+#include "pagetable/memory_map.hh"
+#include "pagetable/walker.hh"
+#include "pomtlb/pom_tlb.hh"
+#include "pomtlb/scheme.hh"
+#include "sim/mmu.hh"
+#include "sim/scheme.hh"
+
+namespace pomtlb
+{
+
+/** A complete machine instance wired for one translation scheme. */
+class Machine
+{
+  public:
+    Machine(const SystemConfig &config, SchemeKind scheme_kind);
+
+    Mmu &mmu(CoreId core) { return *mmus[core]; }
+    PageWalker &walker(CoreId core) { return *walkers[core]; }
+    DataHierarchy &hierarchy() { return *dataHierarchy; }
+    MemoryMap &memoryMap() { return *memMap; }
+    TranslationScheme &scheme() { return *translationScheme; }
+    DramController &mainMemory() { return *mainMem; }
+    DramController &dieStackedMemory() { return *dieStacked; }
+
+    /** The POM-TLB device; null unless built with SchemeKind::PomTlb. */
+    PomTlb *pomTlbDevice() { return pomTlb.get(); }
+    /** The POM-TLB scheme view; null for other schemes. */
+    PomTlbScheme *pomTlbScheme();
+
+    SchemeKind schemeKind() const { return kind; }
+    const SystemConfig &config() const { return systemConfig; }
+    unsigned numCores() const { return systemConfig.numCores; }
+
+    /** Full VM shootdown: TLBs, PSCs, POM-TLB, scheme state. */
+    void shootdownVm(VmId vm);
+
+    /**
+     * Single-page TLB shootdown (Section 2.2): drop the page's
+     * translation from every core's SRAM TLBs and from the scheme's
+     * persistent store (POM-TLB entry + its cached set line, shared
+     * TLB entry, or TSB slots).
+     */
+    void shootdownPage(Addr vaddr, PageSize size, VmId vm,
+                       ProcessId pid);
+
+    /** Reset every statistic (used at the warmup boundary). */
+    void resetStats();
+
+    /** Dump every component's statistics as "name value" lines. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    SystemConfig systemConfig;
+    SchemeKind kind;
+
+    std::unique_ptr<DramController> mainMem;
+    std::unique_ptr<DramController> dieStacked;
+    /** Extra die-stacked channel for the optional L4 data cache. */
+    std::unique_ptr<DramController> l4Channel;
+    std::unique_ptr<MemoryMap> memMap;
+    std::unique_ptr<DataHierarchy> dataHierarchy;
+    std::vector<std::unique_ptr<PageWalker>> walkers;
+    std::unique_ptr<PomTlb> pomTlb;
+    std::unique_ptr<TranslationScheme> translationScheme;
+    std::vector<std::unique_ptr<Mmu>> mmus;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_MACHINE_HH

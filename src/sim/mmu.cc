@@ -1,0 +1,94 @@
+#include "sim/mmu.hh"
+
+namespace pomtlb
+{
+
+Mmu::Mmu(const SystemConfig &config, CoreId core,
+         TranslationScheme &scheme)
+    : coreId(core), translationScheme(scheme),
+      statGroup("mmu." + std::to_string(core))
+{
+    coreTlbs = std::make_unique<CoreTlbs>(
+        config, core, !scheme.providesSecondLevel());
+    statGroup.addCounter("translations", translations);
+    statGroup.addCounter("l1_hits", l1Hits);
+    statGroup.addCounter("l2_hits", l2Hits);
+    statGroup.addCounter("last_level_misses", l2Misses);
+    statGroup.addCounter("translation_cycles", translationCycles);
+    statGroup.addAverage("avg_penalty_per_miss", missPenalty);
+    statGroup.addDerived("penalty_p99_bucket", [this] {
+        // Upper edge of the bucket containing the 99th percentile.
+        const std::uint64_t total = penaltyHist.sampleCount();
+        if (total == 0)
+            return 0.0;
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < penaltyHist.bucketCount(); ++b) {
+            seen += penaltyHist.bucket(b);
+            if (seen * 100 >= total * 99) {
+                return static_cast<double>((b + 1) *
+                                           penaltyHist.width());
+            }
+        }
+        return static_cast<double>(penaltyHist.maxValue());
+    });
+}
+
+MmuResult
+Mmu::translate(Addr vaddr, PageSize size, VmId vm, ProcessId pid,
+               Cycles now)
+{
+    ++translations;
+    MmuResult result;
+
+    const PageNum vpn = pageNumber(vaddr, size);
+    const CoreTlbResult tlb = coreTlbs->lookup(vpn, size, vm, pid);
+    result.cycles = tlb.cycles;
+    result.level = tlb.level;
+
+    if (tlb.level != TlbLevel::Miss) {
+        if (tlb.level == TlbLevel::L1)
+            ++l1Hits;
+        else
+            ++l2Hits;
+        result.hpa = (tlb.pfn << pageShift(size)) |
+                     pageOffset(vaddr, size);
+        translationCycles.increment(result.cycles);
+        return result;
+    }
+
+    ++l2Misses;
+    const SchemeResult scheme = translationScheme.translateMiss(
+        coreId, vaddr, size, vm, pid, now + result.cycles);
+    result.cycles += scheme.cycles;
+    result.hpa =
+        (scheme.pfn << pageShift(size)) | pageOffset(vaddr, size);
+    result.walked = scheme.walked;
+
+    coreTlbs->insert(vpn, size, vm, pid, scheme.pfn);
+
+    translationCycles.increment(result.cycles);
+    missPenalty.sample(static_cast<double>(scheme.cycles));
+    penaltyHist.sample(scheme.cycles);
+    return result;
+}
+
+void
+Mmu::invalidateVm(VmId vm)
+{
+    coreTlbs->invalidateVm(vm);
+}
+
+void
+Mmu::resetStats()
+{
+    translations.reset();
+    l1Hits.reset();
+    l2Hits.reset();
+    l2Misses.reset();
+    translationCycles.reset();
+    missPenalty.reset();
+    penaltyHist.reset();
+    coreTlbs->resetStats();
+}
+
+} // namespace pomtlb

@@ -1,0 +1,51 @@
+#include "sim/perf_model.hh"
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+AdditiveModelResult
+PerfModel::evaluate(const AdditiveModelInput &input, double scheme_p_avg)
+{
+    simAssert(input.totalCycles > 0.0 && input.totalInstructions > 0.0,
+              "additive model needs positive instruction/cycle counts");
+    simAssert(input.totalPenalty <= input.totalCycles,
+              "penalty cycles exceed total cycles");
+
+    AdditiveModelResult result;
+    result.idealCycles = input.totalCycles - input.totalPenalty;
+    result.baselinePavg = input.totalMisses > 0.0
+                              ? input.totalPenalty / input.totalMisses
+                              : 0.0;
+    result.baselineIpc = input.totalInstructions / input.totalCycles;
+    result.schemeCycles =
+        result.idealCycles + input.totalMisses * scheme_p_avg;
+    result.schemeIpc = input.totalInstructions / result.schemeCycles;
+    result.improvementPct =
+        (result.schemeIpc / result.baselineIpc - 1.0) * 100.0;
+    return result;
+}
+
+double
+PerfModel::improvementPct(double overhead_pct, double cost_ratio)
+{
+    simAssert(overhead_pct >= 0.0 && overhead_pct < 100.0,
+              "overhead percentage out of range");
+    simAssert(cost_ratio >= 0.0, "negative translation cost ratio");
+    const double ovh = overhead_pct / 100.0;
+    const double relative_cycles = (1.0 - ovh) + ovh * cost_ratio;
+    return (1.0 / relative_cycles - 1.0) * 100.0;
+}
+
+double
+PerfModel::improvementPct(const BenchmarkProfile &profile,
+                          ExecMode mode, double cost_ratio)
+{
+    const double overhead = mode == ExecMode::Native
+                                ? profile.overheadNativePct
+                                : profile.overheadVirtualPct;
+    return improvementPct(overhead, cost_ratio);
+}
+
+} // namespace pomtlb

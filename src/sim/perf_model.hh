@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's additive performance model (Section 3.2-3.3, Eqs. 2-5).
+ *
+ * The paper measures each workload on real hardware (total
+ * instructions I, cycles C, L2 TLB misses M, total miss-penalty
+ * cycles P) and simulates only the translation path:
+ *
+ *     C_ideal   = C_total - P_total                           (2)
+ *     P_avg     = P_total / M_total                           (3)
+ *     C_scheme  = C_ideal + M_total * P_scheme_avg            (4)
+ *     IPC       = I_total / C_scheme                          (5)
+ *
+ * Our measurement substrate is the published Table 2 constants; the
+ * useful identity is that the speedup depends only on the measured
+ * overhead fraction (ovh = P_total / C_total) and the ratio r of
+ * simulated scheme translation cost to baseline translation cost:
+ *
+ *     improvement = 1 / ((1 - ovh) + ovh * r) - 1
+ *
+ * which is exactly Eqs. 2-5 with both sides divided by C_total.
+ */
+
+#ifndef POMTLB_SIM_PERF_MODEL_HH
+#define POMTLB_SIM_PERF_MODEL_HH
+
+#include "common/types.hh"
+#include "trace/profile.hh"
+
+namespace pomtlb
+{
+
+/** Raw Eq. 2-5 evaluation from absolute measured quantities. */
+struct AdditiveModelInput
+{
+    double totalInstructions = 0.0; // I_total
+    double totalCycles = 0.0;       // C_total
+    double totalMisses = 0.0;       // M_total
+    double totalPenalty = 0.0;      // P_total
+};
+
+/** Outputs of the additive model. */
+struct AdditiveModelResult
+{
+    double idealCycles = 0.0;      // Eq. 2
+    double baselinePavg = 0.0;     // Eq. 3
+    double baselineIpc = 0.0;
+    double schemeCycles = 0.0;     // Eq. 4
+    double schemeIpc = 0.0;        // Eq. 5
+    double improvementPct = 0.0;
+};
+
+/** The paper's performance model. */
+class PerfModel
+{
+  public:
+    /** Evaluate Eqs. 2-5 with an explicit simulated P_scheme_avg. */
+    static AdditiveModelResult evaluate(const AdditiveModelInput &input,
+                                        double scheme_p_avg);
+
+    /**
+     * Speedup from the overhead-fraction form: @p overhead_pct is the
+     * measured translation overhead (% of total cycles, Table 2) and
+     * @p cost_ratio is simulated scheme translation cost divided by
+     * simulated baseline translation cost.
+     */
+    static double improvementPct(double overhead_pct,
+                                 double cost_ratio);
+
+    /** Convenience: pick the Table 2 overhead for @p mode. */
+    static double improvementPct(const BenchmarkProfile &profile,
+                                 ExecMode mode, double cost_ratio);
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_PERF_MODEL_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The translation-scheme plug-in interface.
+ *
+ * The per-core MMU front end (L1 TLBs, optional private L2 TLB) is
+ * common to every design the paper evaluates; what differs is what
+ * happens after the last private SRAM TLB misses. Each scheme —
+ * baseline nested walk, POM-TLB, Shared_L2, TSB — implements that
+ * step, so experiments swap a single object.
+ */
+
+#ifndef POMTLB_SIM_SCHEME_HH
+#define POMTLB_SIM_SCHEME_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace pomtlb
+{
+
+/** Which scheme a Machine should be built with. */
+enum class SchemeKind : std::uint8_t
+{
+    /** Conventional 2D nested page walk with PSCs (baseline). */
+    NestedWalk = 0,
+    /** The paper's part-of-memory L3 TLB. */
+    PomTlb = 1,
+    /** Shared SRAM L2 TLB (Bhattacharjee et al.). */
+    SharedL2 = 2,
+    /** SPARC-style software-managed translation storage buffer. */
+    Tsb = 3,
+};
+
+/** Human-readable scheme name. */
+const char *schemeKindName(SchemeKind kind);
+
+/** What a scheme reports back for one post-L2-TLB-miss translation. */
+struct SchemeResult
+{
+    /** Cycles from the L2 TLB miss to translation availability. */
+    Cycles cycles = 0;
+    /** The resolved host-physical frame number. */
+    PageNum pfn = 0;
+    /** Whether a full page walk ended up being required. */
+    bool walked = false;
+};
+
+/** Interface every translation scheme implements. */
+class TranslationScheme
+{
+  public:
+    virtual ~TranslationScheme() = default;
+
+    /** Scheme name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Resolve the translation of @p vaddr for (vm, pid) after the
+     * core's private TLBs missed. @p size is the actual page size of
+     * the referenced page (schemes with size predictors must not use
+     * it for lookup ordering decisions — only for correctness checks
+     * and predictor training).
+     */
+    virtual SchemeResult translateMiss(CoreId core, Addr vaddr,
+                                       PageSize size, VmId vm,
+                                       ProcessId pid, Cycles now) = 0;
+
+    /**
+     * True when the scheme replaces the private L2 TLBs with its own
+     * second-level structure (the Shared_L2 baseline).
+     */
+    virtual bool providesSecondLevel() const { return false; }
+
+    /**
+     * Steady-state pre-population hook: the engine calls this for
+     * every page the trace will touch before timed simulation starts,
+     * modelling a workload that has been running far longer than the
+     * simulated window (the paper's 20-billion-instruction traces).
+     * Schemes with large persistent translation stores (POM-TLB, TSB)
+     * install the entry untimed; SRAM-only schemes ignore it.
+     */
+    virtual void
+    prewarm(CoreId core, Addr vaddr, PageSize size, VmId vm,
+            ProcessId pid, PageNum pfn)
+    {
+        (void)core;
+        (void)vaddr;
+        (void)size;
+        (void)vm;
+        (void)pid;
+        (void)pfn;
+    }
+
+    /**
+     * Single-page shootdown of scheme-held translation state
+     * (Section 2.2: the POM-TLB participates in TLB shootdowns).
+     */
+    virtual void
+    invalidatePage(Addr vaddr, PageSize size, VmId vm, ProcessId pid)
+    {
+        (void)vaddr;
+        (void)size;
+        (void)vm;
+        (void)pid;
+    }
+
+    /** VM-wide shootdown of any scheme-held translation state. */
+    virtual void invalidateVm(VmId vm) = 0;
+
+    virtual void resetStats() = 0;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_SCHEME_HH

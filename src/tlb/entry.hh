@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The logical TLB entry shared by SRAM TLBs and the POM-TLB.
+ *
+ * Matches the 16-byte format of Figure 5: valid bit, VM ID, process
+ * ID, virtual and physical page numbers, and an attribute field whose
+ * low two bits the POM-TLB uses as its in-DRAM LRU state.
+ */
+
+#ifndef POMTLB_TLB_ENTRY_HH
+#define POMTLB_TLB_ENTRY_HH
+
+#include "common/types.hh"
+
+namespace pomtlb
+{
+
+/** A guest-virtual to host-physical translation record. */
+struct TlbEntry
+{
+    bool valid = false;
+    VmId vmId = 0;
+    ProcessId pid = 0;
+    PageNum vpn = 0;
+    PageNum pfn = 0;
+    PageSize pageSize = PageSize::Small4K;
+    /** Replacement/protection attribute bits (Figure 5 "Attr"). */
+    std::uint8_t attr = 0;
+
+    /** Does this entry translate (vpn, vmId, pid) at this page size? */
+    bool
+    matches(PageNum lookup_vpn, VmId lookup_vm, ProcessId lookup_pid,
+            PageSize lookup_size) const
+    {
+        return valid && vpn == lookup_vpn && vmId == lookup_vm &&
+               pid == lookup_pid && pageSize == lookup_size;
+    }
+
+    /** Translate a full virtual address using this entry. */
+    Addr
+    translate(Addr virt_addr) const
+    {
+        return (pfn << pageShift(pageSize)) |
+               pageOffset(virt_addr, pageSize);
+    }
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_TLB_ENTRY_HH

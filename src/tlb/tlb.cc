@@ -1,0 +1,178 @@
+#include "tlb/tlb.hh"
+
+#include "common/bitutil.hh"
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+SetAssocTlb::SetAssocTlb(const TlbConfig &config,
+                         ReplacementKind replacement)
+    : tlbConfig(config),
+      sets(config.numSets()),
+      ways(config.associativity),
+      entries(config.entries),
+      policy(ReplacementPolicy::create(replacement, config.numSets(),
+                                       config.associativity)),
+      statGroup(config.name)
+{
+    tlbConfig.validate();
+    statGroup.addCounter("hits", hitCount);
+    statGroup.addCounter("misses", missCount);
+    statGroup.addCounter("insertions", insertions);
+    statGroup.addCounter("evictions", evictions);
+    statGroup.addCounter("shootdowns", shootdowns);
+    statGroup.addDerived("hit_rate", [this] { return hitRate(); });
+}
+
+std::uint64_t
+SetAssocTlb::setIndex(PageNum vpn, VmId vm) const
+{
+    // XOR the VM ID in so multiple VMs spread across sets, mirroring
+    // the POM-TLB's set hash (Equation 1).
+    return (vpn ^ vm) & (sets - 1);
+}
+
+TlbLookupResult
+SetAssocTlb::lookup(PageNum vpn, PageSize size, VmId vm, ProcessId pid)
+{
+    const std::uint64_t set = setIndex(vpn, vm);
+    TlbEntry *base = &entries[set * ways];
+    for (unsigned way = 0; way < ways; ++way) {
+        if (base[way].matches(vpn, vm, pid, size)) {
+            policy->touch(set, way);
+            ++hitCount;
+            return {true, base[way].pfn};
+        }
+    }
+    ++missCount;
+    return {};
+}
+
+bool
+SetAssocTlb::contains(PageNum vpn, PageSize size, VmId vm,
+                      ProcessId pid) const
+{
+    const std::uint64_t set = setIndex(vpn, vm);
+    const TlbEntry *base = &entries[set * ways];
+    for (unsigned way = 0; way < ways; ++way) {
+        if (base[way].matches(vpn, vm, pid, size))
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocTlb::insert(PageNum vpn, PageSize size, VmId vm, ProcessId pid,
+                    PageNum pfn)
+{
+    const std::uint64_t set = setIndex(vpn, vm);
+    TlbEntry *base = &entries[set * ways];
+    ++insertions;
+
+    // Refresh in place if already present (duplicate fill).
+    for (unsigned way = 0; way < ways; ++way) {
+        if (base[way].matches(vpn, vm, pid, size)) {
+            base[way].pfn = pfn;
+            policy->touch(set, way);
+            return;
+        }
+    }
+
+    unsigned target = ways;
+    for (unsigned way = 0; way < ways; ++way) {
+        if (!base[way].valid) {
+            target = way;
+            break;
+        }
+    }
+    if (target == ways) {
+        target = policy->victim(set);
+        ++evictions;
+        --validEntries;
+    }
+
+    TlbEntry &entry = base[target];
+    entry.valid = true;
+    entry.vmId = vm;
+    entry.pid = pid;
+    entry.vpn = vpn;
+    entry.pfn = pfn;
+    entry.pageSize = size;
+    ++validEntries;
+    policy->touch(set, target);
+}
+
+bool
+SetAssocTlb::invalidatePage(PageNum vpn, PageSize size, VmId vm,
+                            ProcessId pid)
+{
+    const std::uint64_t set = setIndex(vpn, vm);
+    TlbEntry *base = &entries[set * ways];
+    for (unsigned way = 0; way < ways; ++way) {
+        if (base[way].matches(vpn, vm, pid, size)) {
+            base[way].valid = false;
+            policy->invalidate(set, way);
+            --validEntries;
+            ++shootdowns;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+SetAssocTlb::invalidateVm(VmId vm)
+{
+    std::uint64_t dropped = 0;
+    for (std::uint64_t set = 0; set < sets; ++set) {
+        TlbEntry *base = &entries[set * ways];
+        for (unsigned way = 0; way < ways; ++way) {
+            if (base[way].valid && base[way].vmId == vm) {
+                base[way].valid = false;
+                policy->invalidate(set, way);
+                --validEntries;
+                ++dropped;
+            }
+        }
+    }
+    shootdowns.increment(dropped);
+    return dropped;
+}
+
+std::uint64_t
+SetAssocTlb::flush()
+{
+    std::uint64_t dropped = 0;
+    for (std::uint64_t set = 0; set < sets; ++set) {
+        TlbEntry *base = &entries[set * ways];
+        for (unsigned way = 0; way < ways; ++way) {
+            if (base[way].valid) {
+                base[way].valid = false;
+                policy->invalidate(set, way);
+                ++dropped;
+            }
+        }
+    }
+    validEntries = 0;
+    return dropped;
+}
+
+double
+SetAssocTlb::hitRate() const
+{
+    const std::uint64_t total = hitCount.value() + missCount.value();
+    return total ? static_cast<double>(hitCount.value()) / total : 0.0;
+}
+
+void
+SetAssocTlb::resetStats()
+{
+    hitCount.reset();
+    missCount.reset();
+    insertions.reset();
+    evictions.reset();
+    shootdowns.reset();
+}
+
+} // namespace pomtlb

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A set-associative SRAM TLB with VM-ID/ASID tagging.
+ *
+ * Used for the per-core L1 TLBs (one per page size), the unified
+ * per-core L2 TLB, and the Shared_L2 baseline's large shared TLB.
+ */
+
+#ifndef POMTLB_TLB_TLB_HH
+#define POMTLB_TLB_TLB_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "tlb/entry.hh"
+
+namespace pomtlb
+{
+
+/** Result of a TLB lookup. */
+struct TlbLookupResult
+{
+    bool hit = false;
+    /** Valid only on hit. */
+    PageNum pfn = 0;
+};
+
+/** One level of set-associative SRAM TLB. */
+class SetAssocTlb
+{
+  public:
+    SetAssocTlb(const TlbConfig &config,
+                ReplacementKind replacement = ReplacementKind::Lru);
+
+    /** Look up (vpn, vm, pid) at @p size; updates LRU on hit. */
+    TlbLookupResult lookup(PageNum vpn, PageSize size, VmId vm,
+                           ProcessId pid);
+
+    /** State-preserving membership check. */
+    bool contains(PageNum vpn, PageSize size, VmId vm,
+                  ProcessId pid) const;
+
+    /** Install a translation, evicting the set's LRU entry if full. */
+    void insert(PageNum vpn, PageSize size, VmId vm, ProcessId pid,
+                PageNum pfn);
+
+    /** Drop one page's translation (single-page shootdown). */
+    bool invalidatePage(PageNum vpn, PageSize size, VmId vm,
+                        ProcessId pid);
+
+    /** Drop every entry belonging to @p vm (VM-wide shootdown). */
+    std::uint64_t invalidateVm(VmId vm);
+
+    /** Drop everything. */
+    std::uint64_t flush();
+
+    double hitRate() const;
+    std::uint64_t hits() const { return hitCount.value(); }
+    std::uint64_t misses() const { return missCount.value(); }
+    std::uint64_t validEntryCount() const { return validEntries; }
+
+    const TlbConfig &config() const { return tlbConfig; }
+    const StatGroup &stats() const { return statGroup; }
+    void resetStats();
+
+  private:
+    std::uint64_t setIndex(PageNum vpn, VmId vm) const;
+
+    TlbConfig tlbConfig;
+    std::uint64_t sets;
+    unsigned ways;
+    std::vector<TlbEntry> entries;
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::uint64_t validEntries = 0;
+
+    Counter hitCount;
+    Counter missCount;
+    Counter insertions;
+    Counter evictions;
+    Counter shootdowns;
+    StatGroup statGroup;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_TLB_TLB_HH

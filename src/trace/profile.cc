@@ -1,0 +1,211 @@
+#include "trace/profile.hh"
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+const char *
+accessPatternName(AccessPattern pattern)
+{
+    switch (pattern) {
+      case AccessPattern::UniformRandom:
+        return "uniform-random";
+      case AccessPattern::Streaming:
+        return "streaming";
+      case AccessPattern::ZipfHotspot:
+        return "zipf-hotspot";
+      case AccessPattern::PointerChase:
+        return "pointer-chase";
+      case AccessPattern::MixedPhases:
+        return "mixed-phases";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Shorthand builder keeping the table below readable. */
+BenchmarkProfile
+make(const char *name, double ovh_native, double ovh_virtual,
+     double cycles_native, double cycles_virtual, double frac_large,
+     AccessPattern pattern, Addr footprint_mb, double zipf_theta,
+     double run_length, double inst_gap, double write_fraction,
+     double hot_fraction, double hot_probability, bool multithreaded)
+{
+    BenchmarkProfile profile;
+    profile.name = name;
+    profile.overheadNativePct = ovh_native;
+    profile.overheadVirtualPct = ovh_virtual;
+    profile.cyclesPerMissNative = cycles_native;
+    profile.cyclesPerMissVirtual = cycles_virtual;
+    profile.fracLargePagesPct = frac_large;
+    profile.pattern = pattern;
+    profile.footprintBytes = footprint_mb << 20;
+    profile.zipfTheta = zipf_theta;
+    profile.runLength = run_length;
+    profile.instGapMean = inst_gap;
+    profile.writeFraction = write_fraction;
+    profile.hotFraction = hot_fraction;
+    profile.hotProbability = hot_probability;
+    profile.multithreaded = multithreaded;
+    return profile;
+}
+
+/**
+ * The fifteen workloads. Measured columns are Table 2 verbatim; the
+ * stream-model columns are chosen per the benchmark's published
+ * characterisation: gups is uniformly random (the paper calls out its
+ * low page-table locality), lbm/bwaves/libquantum/zeusmp/
+ * streamcluster stream over grids, the graph workloads
+ * (ccomponent/graph500/pagerank) and mcf/canneal chase pointers, and
+ * gcc/astar concentrate on hot working sets.
+ */
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    using AP = AccessPattern;
+    std::vector<BenchmarkProfile> profiles;
+    // SPEC CPU profiles run rate-mode (one copy per core, disjoint
+    // address spaces); PARSEC/graph profiles are multithreaded over
+    // one shared footprint. Footprints are scaled so steady state is
+    // reached within simulable trace lengths while still dwarfing the
+    // 6 MB reach of the 1536-entry L2 TLB; ccomponent intentionally
+    // keeps a footprint that defeats every caching level (its
+    // Table 2 walk cost is 1158 cycles — the pathological case).
+    //                 name         ovhN   ovhV   cycN  cycV  large  pattern            MB  theta run   gap  wr    hotF   hotP  MT
+    profiles.push_back(make("astar",         13.89, 16.08,  98,  114, 41.7, AP::ZipfHotspot,    96, 0.85,  3.0, 3.0, 0.25, 0.00,  0.00, false));
+    profiles.push_back(make("bwaves",         0.73,  7.70, 128,  151,  0.8, AP::Streaming,      32, 0.00,  8.0, 5.0, 0.30, 0.00,  0.00, false));
+    profiles.push_back(make("canneal",        3.19,  6.34,  53,   61, 16.0, AP::PointerChase,  192, 0.00,  2.0, 4.0, 0.20, 0.05,  0.90, true));
+    profiles.push_back(make("ccomponent",     0.73,  7.40,  44, 1158, 50.0, AP::PointerChase, 1024, 0.00,  1.0, 3.0, 0.10, 0.05,  0.20, true));
+    profiles.push_back(make("gcc",            0.30, 12.12,  46,   88, 29.0, AP::ZipfHotspot,    96, 0.95,  4.0, 4.0, 0.35, 0.00,  0.00, false));
+    profiles.push_back(make("GemsFDTD",      10.58, 16.01, 129,  133, 71.0, AP::MixedPhases,    96, 0.80,  6.0, 4.0, 0.40, 0.00,  0.00, false));
+    profiles.push_back(make("graph500",       1.03,  7.66,  79,   80,  7.0, AP::PointerChase,  256, 0.00,  2.0, 3.0, 0.15, 0.06,  0.70, true));
+    profiles.push_back(make("gups",          12.20, 17.20,  43,   70,  2.6, AP::UniformRandom, 128, 0.00,  1.0, 2.0, 0.50, 0.00,  0.00, true));
+    profiles.push_back(make("lbm",            0.05, 12.02, 110,  290, 57.4, AP::Streaming,      32, 0.00,  8.0, 5.0, 0.45, 0.00,  0.00, false));
+    profiles.push_back(make("libquantum",     0.02,  7.37,  70,   75, 32.9, AP::Streaming,      24, 0.00, 16.0, 6.0, 0.25, 0.00,  0.00, false));
+    profiles.push_back(make("mcf",           10.32, 19.01,  66,  169, 60.7, AP::PointerChase,  192, 0.00,  2.0, 3.0, 0.20, 0.05,  0.90, false));
+    profiles.push_back(make("pagerank",       4.07,  6.96,  51,   61, 60.0, AP::PointerChase,  192, 0.00,  2.0, 3.0, 0.25, 0.06,  0.80, true));
+    profiles.push_back(make("soplex",         4.16, 17.07, 144,  145, 12.3, AP::MixedPhases,    96, 0.80,  4.0, 4.0, 0.30, 0.00,  0.00, false));
+    profiles.push_back(make("streamcluster",  0.07,  2.11,  74,   76, 87.2, AP::Streaming,     128, 0.00, 16.0, 5.0, 0.20, 0.00,  0.00, true));
+    profiles.push_back(make("zeusmp",         0.01, 10.22, 136,  137, 72.1, AP::Streaming,      32, 0.00,  8.0, 5.0, 0.40, 0.00,  0.00, false));
+
+    // Spatial burst locality (adjacent-page continuation) per
+    // workload class: graph codes with locality-aware layouts and
+    // hot-working-set SPEC codes burst across neighbouring pages;
+    // ccomponent (pathological) and gups (uniform by construction)
+    // stay scattered.
+    for (auto &profile : profiles) {
+        if (profile.pattern == AccessPattern::ZipfHotspot ||
+            profile.pattern == AccessPattern::MixedPhases) {
+            profile.localNextProbability = 0.5;
+        } else if (profile.pattern == AccessPattern::PointerChase) {
+            profile.localNextProbability = 0.5;
+        }
+    }
+    for (auto &profile : profiles) {
+        if (profile.name == "ccomponent")
+            profile.localNextProbability = 0.15;
+        else if (profile.name == "mcf")
+            profile.localNextProbability = 0.6;
+        else if (profile.name == "graph500")
+            profile.localNextProbability = 0.4;
+    }
+
+    // TLB-conflict stencil shares: structured SPEC codes (grids,
+    // stencils, column-major sweeps) and locality-aware graph codes
+    // generate page strides that collide in the set-indexed TLBs,
+    // re-missing hot pages at short reuse distances. gups and
+    // ccomponent stay unstructured (their Table 2 behaviour is the
+    // uniform/pathological case).
+    for (auto &profile : profiles) {
+        if (profile.name == "astar")
+            profile.conflictProbability = 0.70;
+        else if (profile.name == "gcc")
+            profile.conflictProbability = 0.65;
+        else if (profile.name == "GemsFDTD")
+            profile.conflictProbability = 0.78;
+        else if (profile.name == "soplex")
+            profile.conflictProbability = 0.78;
+        else if (profile.name == "mcf")
+            profile.conflictProbability = 0.62;
+        else if (profile.name == "canneal")
+            profile.conflictProbability = 0.50;
+        else if (profile.name == "pagerank")
+            profile.conflictProbability = 0.50;
+        else if (profile.name == "graph500")
+            profile.conflictProbability = 0.45;
+        else if (profile.name == "ccomponent")
+            profile.conflictProbability = 0.10;
+        else if (profile.name == "bwaves")
+            profile.conflictProbability = 0.70;
+        else if (profile.name == "lbm")
+            profile.conflictProbability = 0.90;
+        else if (profile.name == "libquantum")
+            profile.conflictProbability = 0.50;
+        else if (profile.name == "zeusmp")
+            profile.conflictProbability = 0.80;
+        else if (profile.name == "streamcluster")
+            profile.conflictProbability = 0.05;
+    }
+
+    // The streaming stencils cycle over many arrays/planes: their
+    // conflict groups are large (hundreds of pages), so the walk's
+    // several cache lines per page overflow the private L2D$ while
+    // the POM-TLB's single line per page still fits — the asymmetry
+    // Section 4.1 credits for POM-TLB's advantage over PTE caching.
+    for (auto &profile : profiles) {
+        if (profile.name == "lbm") {
+            profile.conflictGroupPages = 512;
+        }
+    }
+
+    // Streaming strides: chosen so one full sweep of the footprint
+    // completes well within the warmup phase (steady-state capacity
+    // re-misses, not cold misses, dominate — as in the paper's
+    // 20-billion-instruction traces).
+    for (auto &profile : profiles) {
+        if (profile.name == "GemsFDTD" || profile.name == "soplex") {
+            profile.streamStrideBytes = 1024;
+        } else if (profile.name == "bwaves" || profile.name == "lbm" ||
+                   profile.name == "zeusmp") {
+            profile.streamStrideBytes = 512;
+        } else if (profile.name == "libquantum" ||
+                   profile.name == "streamcluster") {
+            profile.streamStrideBytes = 512;
+        }
+    }
+    return profiles;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+ProfileRegistry::all()
+{
+    static const std::vector<BenchmarkProfile> profiles =
+        buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+ProfileRegistry::byName(const std::string &name)
+{
+    for (const auto &profile : all()) {
+        if (profile.name == name)
+            return profile;
+    }
+    fatal("unknown benchmark profile '", name, "'");
+}
+
+std::vector<std::string>
+ProfileRegistry::names()
+{
+    std::vector<std::string> result;
+    for (const auto &profile : all())
+        result.push_back(profile.name);
+    return result;
+}
+
+} // namespace pomtlb

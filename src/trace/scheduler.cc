@@ -1,0 +1,48 @@
+#include "trace/scheduler.hh"
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+void
+TraceScheduler::addStream(std::unique_ptr<TraceGenerator> generator)
+{
+    Stream stream;
+    stream.gen = std::move(generator);
+    streams.push_back(std::move(stream));
+}
+
+void
+TraceScheduler::prime(Stream &stream)
+{
+    stream.pending = stream.gen->next();
+    stream.instCount += stream.pending.instGap + 1;
+    stream.primed = true;
+}
+
+ScheduledRecord
+TraceScheduler::next()
+{
+    simAssert(!streams.empty(), "scheduler has no streams");
+
+    for (auto &stream : streams) {
+        if (!stream.primed)
+            prime(stream);
+    }
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < streams.size(); ++i) {
+        if (streams[i].instCount < streams[best].instCount)
+            best = i;
+    }
+
+    ScheduledRecord result;
+    result.core = static_cast<CoreId>(best);
+    result.record = streams[best].pending;
+    result.instCount = streams[best].instCount;
+    streams[best].primed = false;
+    return result;
+}
+
+} // namespace pomtlb

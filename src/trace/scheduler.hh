@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Instruction-cadence interleaving of per-core trace streams.
+ *
+ * The simulation engine proper schedules cores by their simulated
+ * clocks; this scheduler provides the simpler Ramulator-style
+ * instruction-order merge the paper describes, used by tests,
+ * examples and anywhere a single interleaved stream is convenient.
+ */
+
+#ifndef POMTLB_TRACE_SCHEDULER_HH
+#define POMTLB_TRACE_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/generator.hh"
+#include "trace/record.hh"
+
+namespace pomtlb
+{
+
+/** One scheduled reference: which core issues what. */
+struct ScheduledRecord
+{
+    CoreId core = 0;
+    TraceRecord record;
+    /** The issuing core's cumulative instruction count afterwards. */
+    InstCount instCount = 0;
+};
+
+/** Merges per-core generators in global instruction order. */
+class TraceScheduler
+{
+  public:
+    TraceScheduler() = default;
+
+    /** Attach one core's generator (core ids are assigned in order). */
+    void addStream(std::unique_ptr<TraceGenerator> generator);
+
+    /** Number of attached streams. */
+    unsigned streamCount() const
+    {
+        return static_cast<unsigned>(streams.size());
+    }
+
+    /**
+     * Pop the globally next reference: the core whose cumulative
+     * instruction count is lowest issues its pending record.
+     */
+    ScheduledRecord next();
+
+    /** Access a stream's generator (tests). */
+    TraceGenerator &generator(CoreId core) { return *streams[core].gen; }
+
+  private:
+    struct Stream
+    {
+        std::unique_ptr<TraceGenerator> gen;
+        TraceRecord pending;
+        InstCount instCount = 0;
+        bool primed = false;
+    };
+
+    void prime(Stream &stream);
+
+    std::vector<Stream> streams;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_TRACE_SCHEDULER_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The trace-source abstraction the simulation engine consumes.
+ *
+ * Two implementations ship: GeneratorSource wraps the synthetic
+ * per-benchmark generators, FileSource replays recorded trace files
+ * (trace/trace_file.hh). Sources must be rewindable so the engine's
+ * steady-state pre-population pass can replay the exact stream the
+ * timed run will issue.
+ */
+
+#ifndef POMTLB_TRACE_SOURCE_HH
+#define POMTLB_TRACE_SOURCE_HH
+
+#include <memory>
+#include <string>
+
+#include "trace/generator.hh"
+#include "trace/record.hh"
+#include "trace/trace_file.hh"
+
+namespace pomtlb
+{
+
+/** A rewindable stream of trace records for one core. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next reference. */
+    virtual TraceRecord next() = 0;
+
+    /** Restart the stream from its beginning. */
+    virtual void rewind() = 0;
+
+    /** Short description for diagnostics. */
+    virtual std::string describe() const = 0;
+};
+
+/** Synthetic-generator source (rewind = rebuild the generator). */
+class GeneratorSource : public TraceSource
+{
+  public:
+    GeneratorSource(const BenchmarkProfile &profile, CoreId core,
+                    std::uint64_t seed)
+        : benchProfile(profile), coreId(core), rngSeed(seed),
+          generator(profile, core, seed)
+    {
+    }
+
+    TraceRecord next() override { return generator.next(); }
+
+    void
+    rewind() override
+    {
+        generator = TraceGenerator(benchProfile, coreId, rngSeed);
+    }
+
+    std::string
+    describe() const override
+    {
+        return "generator:" + benchProfile.name + "/core" +
+               std::to_string(coreId);
+    }
+
+    const TraceGenerator &underlying() const { return generator; }
+
+  private:
+    BenchmarkProfile benchProfile;
+    CoreId coreId;
+    std::uint64_t rngSeed;
+    TraceGenerator generator;
+};
+
+/** Recorded-trace source (wraps TraceFileReader, always wrapping). */
+class FileSource : public TraceSource
+{
+  public:
+    explicit FileSource(const std::string &path)
+        : reader(path, /*wrap=*/true)
+    {
+    }
+
+    TraceRecord next() override { return reader.next(); }
+    void rewind() override { reader.rewind(); }
+
+    std::string
+    describe() const override
+    {
+        return "file:" + reader.path();
+    }
+
+    std::uint64_t recordCount() const { return reader.recordCount(); }
+
+  private:
+    TraceFileReader reader;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_TRACE_SOURCE_HH

@@ -1,0 +1,166 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'P', 'O', 'M', 'T'};
+constexpr std::uint32_t traceVersion = 1;
+
+constexpr std::uint8_t flagWrite = 1u << 0;
+constexpr std::uint8_t flagLargePage = 1u << 1;
+
+void
+putU32(std::ofstream &out, std::uint32_t value)
+{
+    char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    out.write(bytes, 4);
+}
+
+void
+putU64(std::ofstream &out, std::uint64_t value)
+{
+    char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    out.write(bytes, 8);
+}
+
+std::uint32_t
+getU32(std::ifstream &in)
+{
+    unsigned char bytes[4];
+    in.read(reinterpret_cast<char *>(bytes), 4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+std::uint64_t
+getU64(std::ifstream &in)
+{
+    unsigned char bytes[8];
+    in.read(reinterpret_cast<char *>(bytes), 8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : out(path, std::ios::binary | std::ios::trunc), filePath(path)
+{
+    if (!out)
+        fatal("cannot open trace file '", path, "' for writing");
+    writeHeader();
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (!closed)
+        close();
+}
+
+void
+TraceFileWriter::writeHeader()
+{
+    out.seekp(0);
+    out.write(traceMagic, 4);
+    putU32(out, traceVersion);
+    putU64(out, count);
+}
+
+void
+TraceFileWriter::append(const TraceRecord &record)
+{
+    simAssert(!closed, "append to a closed trace file");
+    putU64(out, record.vaddr);
+    putU32(out, record.instGap);
+    std::uint8_t flags = 0;
+    if (record.type == AccessType::Write)
+        flags |= flagWrite;
+    if (record.pageSize == PageSize::Large2M)
+        flags |= flagLargePage;
+    out.write(reinterpret_cast<const char *>(&flags), 1);
+    ++count;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (closed)
+        return;
+    writeHeader(); // rewrite with the final record count
+    out.flush();
+    if (!out)
+        fatal("error writing trace file '", filePath, "'");
+    out.close();
+    closed = true;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path, bool wrap)
+    : filePath(path), wrapAround(wrap)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+
+    char magic[4];
+    in.read(magic, 4);
+    if (!in || std::memcmp(magic, traceMagic, 4) != 0)
+        fatal("'", path, "' is not a POM-TLB trace file");
+    const std::uint32_t version = getU32(in);
+    if (version != traceVersion)
+        fatal("trace file '", path, "' has unsupported version ",
+              version);
+    count = getU64(in);
+
+    records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord record;
+        record.vaddr = getU64(in);
+        record.instGap = getU32(in);
+        std::uint8_t flags = 0;
+        in.read(reinterpret_cast<char *>(&flags), 1);
+        record.type = (flags & flagWrite) ? AccessType::Write
+                                          : AccessType::Read;
+        record.pageSize = (flags & flagLargePage)
+                              ? PageSize::Large2M
+                              : PageSize::Small4K;
+        if (!in)
+            fatal("trace file '", path, "' truncated at record ", i);
+        records.push_back(record);
+    }
+    if (count == 0)
+        fatal("trace file '", path, "' contains no records");
+}
+
+TraceRecord
+TraceFileReader::next()
+{
+    if (index >= count) {
+        if (!wrapAround)
+            fatal("trace file '", filePath, "' exhausted");
+        index = 0;
+    }
+    return records[index++];
+}
+
+void
+TraceFileReader::rewind()
+{
+    index = 0;
+}
+
+} // namespace pomtlb

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/types.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(BitUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(4097));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 40), 40u);
+    EXPECT_EQ(floorLog2((std::uint64_t{1} << 40) + 5), 40u);
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(0), 0u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+}
+
+TEST(BitUtil, ExtractBits)
+{
+    EXPECT_EQ(extractBits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(extractBits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(extractBits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(extractBits(~std::uint64_t{0}, 0, 64), ~std::uint64_t{0});
+    EXPECT_EQ(extractBits(0xff, 4, 0), 0u);
+}
+
+TEST(BitUtil, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(4097, 4096), 4096u);
+    EXPECT_EQ(alignDown(4096, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+    EXPECT_EQ(alignUp(0, 4096), 0u);
+}
+
+TEST(BitUtil, Mix64Distributes)
+{
+    // Different inputs should map to different, well-spread outputs.
+    EXPECT_NE(mix64(1), mix64(2));
+    EXPECT_NE(mix64(0x1000), mix64(0x2000));
+    // The finalizer must not be the identity for small values.
+    EXPECT_NE(mix64(1), 1u);
+}
+
+TEST(BitUtil, PageHelpers)
+{
+    const Addr addr = (Addr{7} << largePageShift) | 0x1234;
+    EXPECT_EQ(pageNumber(addr, PageSize::Large2M), 7u);
+    EXPECT_EQ(pageOffset(addr, PageSize::Large2M), 0x1234u);
+    EXPECT_EQ(pageBase(addr, PageSize::Large2M),
+              Addr{7} << largePageShift);
+
+    EXPECT_EQ(pageBytes(PageSize::Small4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Large2M), 2u * 1024 * 1024);
+    EXPECT_STREQ(pageSizeName(PageSize::Small4K), "4KB");
+    EXPECT_STREQ(pageSizeName(PageSize::Large2M), "2MB");
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SRAM latency-model tests (the Figure 4 substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cacti.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(Cacti, MonotonicInCapacity)
+{
+    double last = 0.0;
+    for (std::uint64_t kb = 16; kb <= 16 * 1024; kb *= 2) {
+        const double t = SramLatencyModel::accessTimeNs(kb * 1024);
+        EXPECT_GT(t, last);
+        last = t;
+    }
+}
+
+TEST(Cacti, NormalisedToReference)
+{
+    EXPECT_DOUBLE_EQ(SramLatencyModel::normalizedLatency(
+                         SramLatencyModel::referenceBytes),
+                     1.0);
+}
+
+TEST(Cacti, LargeArraysDoNotScale)
+{
+    // The Figure 4 message: a 16 MB SRAM is an order of magnitude
+    // slower than a 16 KB one.
+    const double ratio =
+        SramLatencyModel::normalizedLatency(16 * 1024 * 1024);
+    EXPECT_GT(ratio, 10.0);
+    EXPECT_LT(ratio, 100.0);
+}
+
+TEST(Cacti, SqrtScalingShape)
+{
+    // Quadrupling capacity roughly doubles the RC component.
+    const double t1 = SramLatencyModel::accessTimeNs(1 << 20) -
+                      SramLatencyModel::fixedNs;
+    const double t4 = SramLatencyModel::accessTimeNs(4 << 20) -
+                      SramLatencyModel::fixedNs;
+    EXPECT_NEAR(t4 / t1, 2.0, 0.01);
+}
+
+TEST(Cacti, CycleConversion)
+{
+    const Cycles at4ghz =
+        SramLatencyModel::accessCycles(256 * 1024, 4.0);
+    const Cycles at2ghz =
+        SramLatencyModel::accessCycles(256 * 1024, 2.0);
+    EXPECT_GE(at4ghz, at2ghz);
+    EXPECT_GT(at2ghz, 0u);
+}
+
+TEST(Cacti, RejectsZeroCapacity)
+{
+    EXPECT_THROW(SramLatencyModel::accessTimeNs(0),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bank state-machine tests: row-buffer outcomes and timing math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+constexpr unsigned tCas = 11;
+constexpr unsigned tRcd = 11;
+constexpr unsigned tRp = 11;
+
+TEST(Bank, FirstAccessIsClosed)
+{
+    Bank bank;
+    EXPECT_FALSE(bank.hasOpenRow());
+    const auto timing = bank.access(0.0, 5, tCas, tRcd, tRp);
+    EXPECT_EQ(timing.outcome, RowBufferOutcome::Closed);
+    EXPECT_DOUBLE_EQ(timing.dataReady, tRcd + tCas);
+    EXPECT_DOUBLE_EQ(timing.queueDelay, 0.0);
+    EXPECT_TRUE(bank.hasOpenRow());
+    EXPECT_EQ(bank.openRow(), 5u);
+}
+
+TEST(Bank, SameRowHits)
+{
+    Bank bank;
+    bank.access(0.0, 5, tCas, tRcd, tRp);
+    const double now = 100.0;
+    const auto timing = bank.access(now, 5, tCas, tRcd, tRp);
+    EXPECT_EQ(timing.outcome, RowBufferOutcome::Hit);
+    EXPECT_DOUBLE_EQ(timing.dataReady, now + tCas);
+}
+
+TEST(Bank, DifferentRowConflicts)
+{
+    Bank bank;
+    bank.access(0.0, 5, tCas, tRcd, tRp);
+    const double now = 100.0;
+    const auto timing = bank.access(now, 6, tCas, tRcd, tRp);
+    EXPECT_EQ(timing.outcome, RowBufferOutcome::Conflict);
+    EXPECT_DOUBLE_EQ(timing.dataReady, now + tRp + tRcd + tCas);
+    EXPECT_EQ(bank.openRow(), 6u);
+}
+
+TEST(Bank, BusyBankQueuesRequest)
+{
+    Bank bank;
+    const auto first = bank.access(0.0, 5, tCas, tRcd, tRp);
+    // Second request arrives while the bank is still busy.
+    const auto second = bank.access(1.0, 5, tCas, tRcd, tRp);
+    EXPECT_DOUBLE_EQ(second.queueDelay, first.dataReady - 1.0);
+    EXPECT_DOUBLE_EQ(second.dataReady, first.dataReady + tCas);
+}
+
+TEST(Bank, PrechargeClosesRow)
+{
+    Bank bank;
+    bank.access(0.0, 5, tCas, tRcd, tRp);
+    bank.precharge();
+    EXPECT_FALSE(bank.hasOpenRow());
+    const auto timing = bank.access(100.0, 5, tCas, tRcd, tRp);
+    EXPECT_EQ(timing.outcome, RowBufferOutcome::Closed);
+}
+
+TEST(Bank, OccupyUntilExtendsBusyWindow)
+{
+    Bank bank;
+    bank.access(0.0, 5, tCas, tRcd, tRp);
+    const double before = bank.readyAt();
+    bank.occupyUntil(before + 10.0);
+    EXPECT_DOUBLE_EQ(bank.readyAt(), before + 10.0);
+    // Shrinking via occupyUntil is a no-op...
+    bank.occupyUntil(before);
+    EXPECT_DOUBLE_EQ(bank.readyAt(), before + 10.0);
+    // ...but setReadyAt may rewind (queue clamping).
+    bank.setReadyAt(before);
+    EXPECT_DOUBLE_EQ(bank.readyAt(), before);
+}
+
+} // namespace
+} // namespace pomtlb

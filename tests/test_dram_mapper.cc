@@ -1,0 +1,97 @@
+/**
+ * @file
+ * DRAM address-mapper tests: decode/encode round trips and layout
+ * properties that the row-buffer-hit behaviour depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/mapper.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(DramMapper, RoundTrip)
+{
+    const DramConfig config = DramConfig::dieStacked();
+    DramAddressMapper mapper(config);
+    for (Addr addr = 0; addr < (Addr{1} << 22); addr += 64) {
+        const DramCoord coord = mapper.decode(addr);
+        EXPECT_EQ(mapper.encode(coord), addr);
+    }
+}
+
+TEST(DramMapper, ConsecutiveBurstsShareRow)
+{
+    const DramConfig config = DramConfig::dieStacked();
+    DramAddressMapper mapper(config);
+    // Within one 2 KB row region, all bursts decode to the same
+    // channel/bank/row.
+    const DramCoord first = mapper.decode(0);
+    for (Addr addr = 0; addr < config.rowBufferBytes; addr += 64) {
+        const DramCoord coord = mapper.decode(addr);
+        EXPECT_EQ(coord.channel, first.channel);
+        EXPECT_EQ(coord.bank, first.bank);
+        EXPECT_EQ(coord.row, first.row);
+    }
+    // The next region moves to a different channel or bank or row.
+    const DramCoord next = mapper.decode(config.rowBufferBytes);
+    EXPECT_FALSE(next == first);
+}
+
+TEST(DramMapper, CoversAllBanksAndChannels)
+{
+    const DramConfig config = DramConfig::ddr4();
+    DramAddressMapper mapper(config);
+    std::vector<bool> bank_seen(config.numBanks, false);
+    std::vector<bool> channel_seen(config.numChannels, false);
+    for (Addr addr = 0; addr < (Addr{1} << 24);
+         addr += config.rowBufferBytes) {
+        const DramCoord coord = mapper.decode(addr);
+        ASSERT_LT(coord.bank, config.numBanks);
+        ASSERT_LT(coord.channel, config.numChannels);
+        bank_seen[coord.bank] = true;
+        channel_seen[coord.channel] = true;
+    }
+    for (bool seen : bank_seen)
+        EXPECT_TRUE(seen);
+    for (bool seen : channel_seen)
+        EXPECT_TRUE(seen);
+}
+
+TEST(DramMapper, Ddr4RoundTrip)
+{
+    const DramConfig config = DramConfig::ddr4();
+    DramAddressMapper mapper(config);
+    for (Addr addr = 0; addr < (Addr{1} << 23); addr += 4096 + 64) {
+        const DramCoord coord = mapper.decode(addr & ~Addr{63});
+        EXPECT_EQ(mapper.encode(coord), addr & ~Addr{63});
+    }
+}
+
+TEST(DramMapper, ColumnWithinRow)
+{
+    const DramConfig config = DramConfig::dieStacked();
+    DramAddressMapper mapper(config);
+    const std::uint64_t columns =
+        config.rowBufferBytes / config.burstBytes;
+    for (Addr addr = 0; addr < config.rowBufferBytes; addr += 64) {
+        const DramCoord coord = mapper.decode(addr);
+        EXPECT_LT(coord.column, columns);
+    }
+}
+
+TEST(DramMapper, BitBudget)
+{
+    const DramConfig config = DramConfig::dieStacked();
+    DramAddressMapper mapper(config);
+    EXPECT_EQ(mapper.offsetBits(), 6u);   // 64 B bursts
+    EXPECT_EQ(mapper.columnBits(), 5u);   // 2048/64 = 32 columns
+    EXPECT_EQ(mapper.channelBits(), 0u);  // 1 channel
+    EXPECT_EQ(mapper.bankBits(), 3u);     // 8 banks
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Experiment-runner tests: scheme summaries and the four-scheme
+ * comparison that feeds Figure 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+ExperimentConfig
+quickConfig()
+{
+    ExperimentConfig config;
+    config.system.numCores = 2;
+    config.engine.refsPerCore = 4000;
+    config.engine.warmupRefsPerCore = 2000;
+    return config;
+}
+
+TEST(Experiment, RunSchemeSummarises)
+{
+    const SchemeRunSummary summary = runScheme(
+        ProfileRegistry::byName("gups"), SchemeKind::PomTlb,
+        quickConfig());
+    EXPECT_EQ(summary.benchmark, "gups");
+    EXPECT_EQ(summary.scheme, SchemeKind::PomTlb);
+    EXPECT_GT(summary.translationCycles, 0u);
+    EXPECT_GT(summary.avgPenaltyPerMiss, 0.0);
+    EXPECT_GE(summary.sizePredictorAccuracy, 0.0);
+    EXPECT_LE(summary.sizePredictorAccuracy, 1.0);
+    EXPECT_GE(summary.dieStackedRowBufferHitRate, 0.0);
+}
+
+TEST(Experiment, BaselineSummaryHasNoPomStats)
+{
+    const SchemeRunSummary summary = runScheme(
+        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        quickConfig());
+    EXPECT_DOUBLE_EQ(summary.pomL2CacheServiceRate, 0.0);
+    EXPECT_DOUBLE_EQ(summary.sizePredictorAccuracy, 0.0);
+    EXPECT_DOUBLE_EQ(summary.walkFraction, 1.0);
+}
+
+TEST(Experiment, CompareSchemesProducesImprovements)
+{
+    const BenchmarkComparison comparison = compareSchemes(
+        ProfileRegistry::byName("gups"), quickConfig());
+    EXPECT_EQ(comparison.benchmark, "gups");
+    EXPECT_GT(comparison.pomCostRatio, 0.0);
+    EXPECT_LT(comparison.pomCostRatio, 1.0);
+    // POM-TLB improves over the baseline on gups.
+    EXPECT_GT(comparison.pomImprovementPct, 0.0);
+    // And beats the TSB by a wide margin (the paper's "order of
+    // difference" observation for gups).
+    EXPECT_GT(comparison.pomImprovementPct,
+              comparison.tsbImprovementPct + 1.0);
+}
+
+TEST(Experiment, PomImprovementOnlyMatchesComparison)
+{
+    const ExperimentConfig config = quickConfig();
+    const BenchmarkComparison comparison =
+        compareSchemes(ProfileRegistry::byName("gups"), config);
+    const double only = pomImprovementOnly(
+        ProfileRegistry::byName("gups"), config);
+    EXPECT_NEAR(only, comparison.pomImprovementPct, 1e-9);
+}
+
+TEST(Experiment, DefaultConfigRespectsQuickEnv)
+{
+    // Without the env var the defaults hold.
+    const ExperimentConfig config = defaultExperimentConfig();
+    EXPECT_GE(config.engine.refsPerCore, 20000u);
+}
+
+TEST(Experiment, NativeModeRuns)
+{
+    ExperimentConfig config = quickConfig();
+    config.system.mode = ExecMode::Native;
+    const SchemeRunSummary summary = runScheme(
+        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        config);
+    EXPECT_EQ(summary.mode, ExecMode::Native);
+    EXPECT_GT(summary.avgPenaltyPerMiss, 0.0);
+}
+
+TEST(Experiment, VirtualizedWalksCostMoreThanNative)
+{
+    ExperimentConfig native_config = quickConfig();
+    native_config.system.mode = ExecMode::Native;
+    ExperimentConfig virt_config = quickConfig();
+
+    const SchemeRunSummary native = runScheme(
+        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        native_config);
+    const SchemeRunSummary virt = runScheme(
+        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        virt_config);
+    // Figure 3's message: virtualized translation costs more.
+    EXPECT_GT(virt.avgPenaltyPerMiss, native.avgPenaltyPerMiss);
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for the paper's extension/future-work features: TLB-aware
+ * caching (Section 5.1), the unified skewed organisation
+ * (footnote 1), next-set prefetching (Section 6), and TLB-shootdown
+ * injection (Section 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/dram_cache.hh"
+#include "sim/experiment.hh"
+#include "sim/machine.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+// ----------------------------------------------------------------
+// TLB-aware caching (Section 5.1).
+// ----------------------------------------------------------------
+
+CacheConfig
+tinyCache()
+{
+    CacheConfig config;
+    config.name = "test";
+    config.sizeBytes = 4 * 1024; // 16 sets x 4 ways
+    config.associativity = 4;
+    config.lineBytes = 64;
+    return config;
+}
+
+Addr
+addrFor(std::uint64_t set, std::uint64_t tag)
+{
+    return (tag << (6 + 4)) | (set << 6);
+}
+
+TEST(TlbAwareCaching, DataEvictedBeforeTlbLines)
+{
+    SetAssocCache cache(tinyCache());
+    cache.setTlbLinePolicy(TlbLinePolicy::RetainTlb);
+
+    cache.fill(addrFor(0, 0), LineKind::TlbEntry);
+    cache.fill(addrFor(0, 1), LineKind::Data);
+    cache.fill(addrFor(0, 2), LineKind::Data);
+    cache.fill(addrFor(0, 3), LineKind::Data);
+    // The TLB line is the LRU, but a data line must go instead.
+    const CacheFillResult fill =
+        cache.fill(addrFor(0, 9), LineKind::Data);
+    EXPECT_TRUE(fill.evicted);
+    EXPECT_EQ(fill.victimKind, LineKind::Data);
+    EXPECT_EQ(fill.victimAddr, addrFor(0, 1));
+    EXPECT_TRUE(cache.contains(addrFor(0, 0)));
+}
+
+TEST(TlbAwareCaching, AllTlbSetFallsBackToLru)
+{
+    SetAssocCache cache(tinyCache());
+    cache.setTlbLinePolicy(TlbLinePolicy::RetainTlb);
+    for (std::uint64_t tag = 0; tag < 4; ++tag)
+        cache.fill(addrFor(0, tag), LineKind::TlbEntry);
+    const CacheFillResult fill =
+        cache.fill(addrFor(0, 9), LineKind::TlbEntry);
+    EXPECT_TRUE(fill.evicted);
+    EXPECT_EQ(fill.victimKind, LineKind::TlbEntry);
+    EXPECT_EQ(fill.victimAddr, addrFor(0, 0)); // LRU among TLB lines
+}
+
+TEST(TlbAwareCaching, DisabledPolicyIsPlainLru)
+{
+    SetAssocCache cache(tinyCache());
+    ASSERT_EQ(cache.tlbLinePolicy(), TlbLinePolicy::None);
+    cache.fill(addrFor(0, 0), LineKind::TlbEntry);
+    for (std::uint64_t tag = 1; tag < 4; ++tag)
+        cache.fill(addrFor(0, tag), LineKind::Data);
+    const CacheFillResult fill =
+        cache.fill(addrFor(0, 9), LineKind::Data);
+    EXPECT_EQ(fill.victimKind, LineKind::TlbEntry); // plain LRU
+}
+
+TEST(TlbAwareCaching, MachineWiringAppliesPolicy)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    config.tlbAwareCaching = true;
+    Machine machine(config, SchemeKind::PomTlb);
+    EXPECT_EQ(machine.hierarchy().l2d(0).tlbLinePolicy(),
+              TlbLinePolicy::RetainTlb);
+    EXPECT_EQ(machine.hierarchy().l3d().tlbLinePolicy(),
+              TlbLinePolicy::RetainTlb);
+    EXPECT_EQ(machine.hierarchy().l1d(0).tlbLinePolicy(),
+              TlbLinePolicy::None);
+}
+
+TEST(TlbAwareCaching, ImprovesTlbLineResidency)
+{
+    ExperimentConfig plain;
+    plain.system.numCores = 2;
+    plain.engine.refsPerCore = 20000;
+    plain.engine.warmupRefsPerCore = 10000;
+    ExperimentConfig aware = plain;
+    aware.system.tlbAwareCaching = true;
+
+    const SchemeRunSummary base = runScheme(
+        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, plain);
+    const SchemeRunSummary retained = runScheme(
+        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, aware);
+    // Retaining TLB lines must not make translation slower.
+    EXPECT_LE(retained.avgPenaltyPerMiss,
+              base.avgPenaltyPerMiss * 1.05);
+}
+
+// ----------------------------------------------------------------
+// Unified skewed organisation (footnote 1).
+// ----------------------------------------------------------------
+
+TEST(UnifiedPom, BothSizesShareOneArray)
+{
+    PomTlbConfig config;
+    config.unifiedOrganization = true;
+    DramConfig die = DramConfig::dieStacked();
+    DramController dram(die);
+    PomTlb pom(config, dram);
+
+    EXPECT_TRUE(pom.addrMap().isUnified());
+    // The shared array holds the full capacity's worth of sets.
+    EXPECT_EQ(pom.addrMap().numSets(PageSize::Small4K),
+              config.capacityBytes / 64);
+    EXPECT_EQ(pom.addrMap().numSets(PageSize::Small4K),
+              pom.addrMap().numSets(PageSize::Large2M));
+
+    pom.installUntimed(0x12345000, 1, 1, PageSize::Small4K, 0xA);
+    pom.installUntimed(0x40000000, 1, 1, PageSize::Large2M, 0xB);
+    EXPECT_EQ(
+        pom.searchSet(0x12345000, 1, 1, PageSize::Small4K).pfn, 0xAu);
+    EXPECT_EQ(
+        pom.searchSet(0x40000000, 1, 1, PageSize::Large2M).pfn, 0xBu);
+    // Both live in the same (small) partition object.
+    EXPECT_EQ(pom.partition(PageSize::Small4K).validEntryCount(), 2u);
+}
+
+TEST(UnifiedPom, LargePagesUseSkewedIndex)
+{
+    PomTlbConfig config;
+    config.unifiedOrganization = true;
+    PomTlbAddressMap map(config);
+    // Small pages keep Equation 1; large pages are skew-hashed.
+    EXPECT_EQ(map.setIndex(100, 0, PageSize::Small4K), 100u);
+    EXPECT_NE(map.setIndex(100, 0, PageSize::Large2M),
+              map.setIndex(100, 0, PageSize::Small4K));
+}
+
+TEST(UnifiedPom, EndToEndRunWorks)
+{
+    ExperimentConfig config;
+    config.system.numCores = 2;
+    config.system.pomTlb.unifiedOrganization = true;
+    config.engine.refsPerCore = 5000;
+    config.engine.warmupRefsPerCore = 2500;
+    const SchemeRunSummary summary = runScheme(
+        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, config);
+    EXPECT_LT(summary.walkFraction, 0.02);
+}
+
+// ----------------------------------------------------------------
+// Next-set prefetching (Section 6).
+// ----------------------------------------------------------------
+
+TEST(Prefetch, AdjacentSetLineLandsInCaches)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    config.pomTlb.prefetchNextSet = true;
+    Machine machine(config, SchemeKind::PomTlb);
+
+    const Addr vaddr = 0x12345000;
+    machine.scheme().translateMiss(0, vaddr, PageSize::Small4K, 1, 1,
+                                   0);
+    const Addr next_set = machine.pomTlbDevice()->setAddress(
+        vaddr + smallPageBytes, 1, PageSize::Small4K);
+    EXPECT_TRUE(machine.hierarchy().l2d(0).contains(next_set));
+}
+
+TEST(Prefetch, HelpsSequentialMissStreams)
+{
+    ExperimentConfig off;
+    off.system.numCores = 2;
+    off.engine.refsPerCore = 20000;
+    off.engine.warmupRefsPerCore = 10000;
+    ExperimentConfig on = off;
+    on.system.pomTlb.prefetchNextSet = true;
+
+    // lbm's sweep misses walk pages in order: the prefetch turns its
+    // POM DRAM trips into cache hits.
+    const SchemeRunSummary without = runScheme(
+        ProfileRegistry::byName("lbm"), SchemeKind::PomTlb, off);
+    const SchemeRunSummary with = runScheme(
+        ProfileRegistry::byName("lbm"), SchemeKind::PomTlb, on);
+    EXPECT_LT(with.avgPenaltyPerMiss, without.avgPenaltyPerMiss);
+}
+
+// ----------------------------------------------------------------
+// L4 die-stacked data cache (Section 2.2's alternative use).
+// ----------------------------------------------------------------
+
+TEST(L4DramCache, MissThenHitTiming)
+{
+    DramConfig channel_config = DramConfig::dieStacked();
+    channel_config.coreFreqGhz = 4.0;
+    DramController channel(channel_config);
+    DramCache cache(1 << 20, 64, channel);
+
+    const DramCacheResult miss =
+        cache.access(0x1000, AccessType::Read, 0);
+    EXPECT_FALSE(miss.hit);
+    // A miss costs only the tag check on the L4's own path.
+    EXPECT_EQ(miss.latency, cache.tagLatency());
+
+    const DramCacheResult hit =
+        cache.access(0x1000, AccessType::Read, 10000);
+    EXPECT_TRUE(hit.hit);
+    // A hit pays a die-stacked DRAM burst on top of the tag check.
+    EXPECT_GT(hit.latency, cache.tagLatency());
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(L4DramCache, MachineWiring)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    config.dieStackedL4Cache = true;
+    Machine machine(config, SchemeKind::NestedWalk);
+    ASSERT_NE(machine.hierarchy().l4Cache(), nullptr);
+
+    // 32 lines that all collide in one 16-way L3 set (stride = L3
+    // set count x line size) but spread over two 16-way L4 sets:
+    // the L3 thrashes every round while the L4 holds them all, so
+    // later rounds hit in the L4.
+    const Addr stride = config.l3.numSets() * 64;
+    for (int round = 0; round < 3; ++round) {
+        for (unsigned k = 0; k < 32; ++k) {
+            machine.hierarchy().accessData(
+                0, Addr{k} * stride, AccessType::Read,
+                static_cast<Cycles>(round) * 100000 + k * 100);
+        }
+    }
+    EXPECT_GT(machine.hierarchy().l4Cache()->hits(), 0u);
+}
+
+TEST(L4DramCache, AbsentWithoutFlag)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine machine(config, SchemeKind::NestedWalk);
+    EXPECT_EQ(machine.hierarchy().l4Cache(), nullptr);
+}
+
+TEST(L4DramCache, ReducesBaselineCycles)
+{
+    // On a data-heavy workload the L4 cache must not hurt.
+    ExperimentConfig off;
+    off.system.numCores = 2;
+    off.engine.refsPerCore = 10000;
+    off.engine.warmupRefsPerCore = 5000;
+    ExperimentConfig on = off;
+    on.system.dieStackedL4Cache = true;
+
+    const SchemeRunSummary without = runScheme(
+        ProfileRegistry::byName("canneal"), SchemeKind::NestedWalk,
+        off);
+    const SchemeRunSummary with = runScheme(
+        ProfileRegistry::byName("canneal"), SchemeKind::NestedWalk,
+        on);
+    double cycles_without = 0.0;
+    double cycles_with = 0.0;
+    for (const auto &core : without.run.cores)
+        cycles_without += static_cast<double>(core.cycles);
+    for (const auto &core : with.run.cores)
+        cycles_with += static_cast<double>(core.cycles);
+    EXPECT_LT(cycles_with, cycles_without * 1.02);
+}
+
+// ----------------------------------------------------------------
+// Shootdown injection (Section 2.2).
+// ----------------------------------------------------------------
+
+TEST(Shootdown, PageShootdownClearsEveryStructure)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 2;
+    Machine machine(config, SchemeKind::PomTlb);
+    const Addr vaddr = 0x77777000;
+    machine.mmu(0).translate(vaddr, PageSize::Small4K, 1, 1, 0);
+    machine.mmu(1).translate(vaddr, PageSize::Small4K, 1, 1, 100);
+
+    machine.shootdownPage(vaddr, PageSize::Small4K, 1, 1);
+
+    // Both cores' next access misses all TLB levels and walks.
+    const MmuResult core0 = machine.mmu(0).translate(
+        vaddr, PageSize::Small4K, 1, 1, 1000);
+    EXPECT_EQ(core0.level, TlbLevel::Miss);
+    EXPECT_TRUE(core0.walked);
+}
+
+TEST(Shootdown, InjectionCountsAndCharges)
+{
+    ExperimentConfig config;
+    config.system.numCores = 2;
+    config.engine.refsPerCore = 10000;
+    config.engine.warmupRefsPerCore = 5000;
+    config.engine.shootdownIntervalRefs = 1000;
+
+    Machine machine(config.system, SchemeKind::PomTlb);
+    SimulationEngine engine(
+        machine, ProfileRegistry::byName("mcf"), config.engine);
+    const RunResult result = engine.run();
+    // 20000 measured refs at one shootdown per 1000.
+    EXPECT_NEAR(static_cast<double>(result.totalShootdowns()), 20.0,
+                2.0);
+    // Shot-down pages must be re-fetched: a few walks reappear.
+    EXPECT_GT(result.totalPageWalks(), 0u);
+}
+
+TEST(Shootdown, RareShootdownsBarelyAffectPom)
+{
+    // Section 2.2's argument: shootdowns are rare, so the POM-TLB's
+    // participation costs little.
+    ExperimentConfig quiet;
+    quiet.system.numCores = 2;
+    quiet.engine.refsPerCore = 20000;
+    quiet.engine.warmupRefsPerCore = 10000;
+    ExperimentConfig noisy = quiet;
+    noisy.engine.shootdownIntervalRefs = 10000; // rare
+
+    const SchemeRunSummary base = runScheme(
+        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, quiet);
+    const SchemeRunSummary shot = runScheme(
+        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, noisy);
+    EXPECT_LT(shot.avgPenaltyPerMiss,
+              base.avgPenaltyPerMiss * 1.15);
+}
+
+} // namespace
+} // namespace pomtlb

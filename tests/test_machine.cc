@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Machine-assembly tests: scheme wiring, configuration scaling, and
+ * whole-machine shootdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/machine.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(Machine, BuildsAllSchemeKinds)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 2;
+    for (SchemeKind kind :
+         {SchemeKind::NestedWalk, SchemeKind::PomTlb,
+          SchemeKind::SharedL2, SchemeKind::Tsb}) {
+        Machine machine(config, kind);
+        EXPECT_EQ(machine.schemeKind(), kind);
+        EXPECT_EQ(machine.numCores(), 2u);
+    }
+}
+
+TEST(Machine, SchemeNames)
+{
+    EXPECT_STREQ(schemeKindName(SchemeKind::NestedWalk), "Baseline");
+    EXPECT_STREQ(schemeKindName(SchemeKind::PomTlb), "POM-TLB");
+    EXPECT_STREQ(schemeKindName(SchemeKind::SharedL2), "Shared_L2");
+    EXPECT_STREQ(schemeKindName(SchemeKind::Tsb), "TSB");
+}
+
+TEST(Machine, PomDeviceOnlyForPomScheme)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine pom(config, SchemeKind::PomTlb);
+    EXPECT_NE(pom.pomTlbDevice(), nullptr);
+    EXPECT_NE(pom.pomTlbScheme(), nullptr);
+
+    Machine baseline(config, SchemeKind::NestedWalk);
+    EXPECT_EQ(baseline.pomTlbDevice(), nullptr);
+    EXPECT_EQ(baseline.pomTlbScheme(), nullptr);
+}
+
+TEST(Machine, CoreCountScalesComponents)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 4;
+    Machine machine(config, SchemeKind::PomTlb);
+    for (CoreId core = 0; core < 4; ++core) {
+        EXPECT_NO_THROW(machine.mmu(core));
+        EXPECT_NO_THROW(machine.walker(core));
+    }
+    EXPECT_EQ(machine.hierarchy().numCores(), 4u);
+}
+
+TEST(Machine, PrivateL2PresentExceptSharedL2)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine pom(config, SchemeKind::PomTlb);
+    EXPECT_TRUE(pom.mmu(0).tlbs().hasPrivateL2());
+    Machine shared(config, SchemeKind::SharedL2);
+    EXPECT_FALSE(shared.mmu(0).tlbs().hasPrivateL2());
+    Machine tsb(config, SchemeKind::Tsb);
+    EXPECT_TRUE(tsb.mmu(0).tlbs().hasPrivateL2());
+}
+
+TEST(Machine, ShootdownVmClearsEverything)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine machine(config, SchemeKind::PomTlb);
+    machine.mmu(0).translate(0x1234000, PageSize::Small4K, 1, 1, 0);
+    machine.shootdownVm(1);
+    const MmuResult after = machine.mmu(0).translate(
+        0x1234000, PageSize::Small4K, 1, 1, 1000);
+    EXPECT_EQ(after.level, TlbLevel::Miss);
+    EXPECT_TRUE(after.walked);
+}
+
+TEST(Machine, ResetStatsPreservesState)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine machine(config, SchemeKind::PomTlb);
+    machine.mmu(0).translate(0x1234000, PageSize::Small4K, 1, 1, 0);
+    machine.resetStats();
+    EXPECT_EQ(machine.mmu(0).translationCount(), 0u);
+    // Translation state survives: next access is an L1 hit.
+    const MmuResult after = machine.mmu(0).translate(
+        0x1234000, PageSize::Small4K, 1, 1, 1000);
+    EXPECT_EQ(after.level, TlbLevel::L1);
+}
+
+TEST(Machine, DramChannelsAreSeparate)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine machine(config, SchemeKind::PomTlb);
+    // Main-memory traffic does not touch the die-stacked channel.
+    machine.hierarchy().accessData(0, 0x5000, AccessType::Read, 0);
+    EXPECT_GT(machine.mainMemory().accessCount(), 0u);
+    EXPECT_EQ(machine.dieStackedMemory().accessCount(), 0u);
+}
+
+TEST(Machine, NativeModeMachine)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    config.mode = ExecMode::Native;
+    Machine machine(config, SchemeKind::NestedWalk);
+    const MmuResult result = machine.mmu(0).translate(
+        0x1234000, PageSize::Small4K, 1, 1, 0);
+    EXPECT_TRUE(result.walked);
+    EXPECT_EQ(machine.memoryMap().mode(), ExecMode::Native);
+}
+
+TEST(Machine, DumpStatsProducesOutput)
+{
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine machine(config, SchemeKind::PomTlb);
+    machine.mmu(0).translate(0x1234000, PageSize::Small4K, 1, 1, 0);
+    std::ostringstream oss;
+    machine.dumpStats(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("ddr4-2133"), std::string::npos);
+    EXPECT_NE(out.find("die-stacked"), std::string::npos);
+    EXPECT_NE(out.find("mmu.0"), std::string::npos);
+    EXPECT_NE(out.find("l3"), std::string::npos);
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Memory-map (OS/hypervisor substrate) tests: demand mapping in both
+ * modes, gPA/hPA consistency, VM isolation, and lazy node backing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pagetable/memory_map.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(MemoryMap, NativeModeIdentityHostTranslation)
+{
+    MemoryMapConfig config;
+    config.mode = ExecMode::Native;
+    MemoryMap map(config);
+
+    const TranslationInfo info =
+        map.ensureMapped(1, 1, 0x123456789, PageSize::Small4K);
+    EXPECT_EQ(info.gpa, info.hpa);
+    EXPECT_EQ(map.hostTranslate(1, 0xabcd), 0xabcdu);
+}
+
+TEST(MemoryMap, VirtualizedTwoLevelMapping)
+{
+    MemoryMapConfig config;
+    MemoryMap map(config);
+
+    const Addr vaddr = 0x123456789;
+    const TranslationInfo info =
+        map.ensureMapped(1, 1, vaddr, PageSize::Small4K);
+    // Offsets are preserved through both translations.
+    EXPECT_EQ(pageOffset(info.gpa, PageSize::Small4K),
+              pageOffset(vaddr, PageSize::Small4K));
+    EXPECT_EQ(pageOffset(info.hpa, PageSize::Small4K),
+              pageOffset(vaddr, PageSize::Small4K));
+    // The host table agrees with the combined mapping.
+    EXPECT_EQ(map.hostTranslate(1, info.gpa), info.hpa);
+}
+
+TEST(MemoryMap, EnsureMappedIsIdempotent)
+{
+    MemoryMap map(MemoryMapConfig{});
+    const TranslationInfo first =
+        map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    const TranslationInfo second =
+        map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    EXPECT_EQ(first.gpa, second.gpa);
+    EXPECT_EQ(first.hpa, second.hpa);
+}
+
+TEST(MemoryMap, DistinctPagesGetDistinctFrames)
+{
+    MemoryMap map(MemoryMapConfig{});
+    const TranslationInfo a =
+        map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    const TranslationInfo b =
+        map.ensureMapped(1, 1, 0x6000, PageSize::Small4K);
+    EXPECT_NE(pageBase(a.hpa, PageSize::Small4K),
+              pageBase(b.hpa, PageSize::Small4K));
+    EXPECT_NE(pageBase(a.gpa, PageSize::Small4K),
+              pageBase(b.gpa, PageSize::Small4K));
+}
+
+TEST(MemoryMap, ProcessesHaveSeparateAddressSpaces)
+{
+    MemoryMap map(MemoryMapConfig{});
+    const TranslationInfo p1 =
+        map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    const TranslationInfo p2 =
+        map.ensureMapped(1, 2, 0x5000, PageSize::Small4K);
+    EXPECT_NE(p1.hpa, p2.hpa);
+}
+
+TEST(MemoryMap, VmsHaveSeparateHostFrames)
+{
+    MemoryMap map(MemoryMapConfig{});
+    const TranslationInfo vm1 =
+        map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    const TranslationInfo vm2 =
+        map.ensureMapped(2, 1, 0x5000, PageSize::Small4K);
+    EXPECT_NE(vm1.hpa, vm2.hpa);
+    // Guest-physical spaces are per-VM namespaces and may collide.
+}
+
+TEST(MemoryMap, LargePageMapping)
+{
+    MemoryMap map(MemoryMapConfig{});
+    const Addr vaddr = (Addr{5} << largePageShift) | 0x12345;
+    const TranslationInfo info =
+        map.ensureMapped(1, 1, vaddr, PageSize::Large2M);
+    EXPECT_EQ(info.size, PageSize::Large2M);
+    EXPECT_EQ(pageOffset(info.hpa, PageSize::Large2M), 0x12345u);
+    EXPECT_EQ(pageBase(info.hpa, PageSize::Large2M) % largePageBytes,
+              0u);
+}
+
+TEST(MemoryMap, LazyHostBackingOfTableNodes)
+{
+    MemoryMap map(MemoryMapConfig{});
+    map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    // The guest page table's root frame is a guest-physical address;
+    // translating it must lazily create a host mapping.
+    const Addr root_gpa = map.guestTable(1, 1).rootAddr();
+    const HostPhysAddr hpa = map.hostTranslate(1, root_gpa);
+    EXPECT_NE(hpa, 0u);
+    // A second translation returns the same backing.
+    EXPECT_EQ(map.hostTranslate(1, root_gpa), hpa);
+}
+
+TEST(MemoryMap, UnmapPage)
+{
+    MemoryMap map(MemoryMapConfig{});
+    map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    EXPECT_TRUE(map.unmapPage(1, 1, 0x5000, PageSize::Small4K));
+    EXPECT_FALSE(map.guestTable(1, 1).isMapped(0x5000));
+}
+
+TEST(MemoryMap, HostBytesGrowWithMappings)
+{
+    MemoryMap map(MemoryMapConfig{});
+    const Addr before = map.hostBytesAllocated();
+    map.ensureMapped(1, 1, 0x5000, PageSize::Small4K);
+    EXPECT_GT(map.hostBytesAllocated(), before);
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * POM-TLB address-map tests: Equation 1 set indexing, partition
+ * layout, and the addressable range.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pomtlb/addr_map.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(PomAddrMap, PartitionGeometry)
+{
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    // 8 MB per partition at 64 B per set.
+    EXPECT_EQ(map.numSets(PageSize::Small4K),
+              config.smallPartitionBytes() / 64);
+    EXPECT_EQ(map.numSets(PageSize::Large2M),
+              config.largePartitionBytes() / 64);
+    EXPECT_EQ(map.associativity(), 4u);
+}
+
+TEST(PomAddrMap, SetAddressesAre64ByteAligned)
+{
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    for (PageNum vpn = 0; vpn < 1000; ++vpn) {
+        EXPECT_EQ(map.setAddress(vpn, 1, PageSize::Small4K) % 64, 0u);
+        EXPECT_EQ(map.setAddress(vpn, 1, PageSize::Large2M) % 64, 0u);
+    }
+}
+
+TEST(PomAddrMap, ConsecutiveVpnsMapToConsecutiveSets)
+{
+    // The spatial-locality property behind the row-buffer hits of
+    // Section 4.4: adjacent pages get adjacent 64 B set lines.
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    const Addr a = map.setAddress(100, 0, PageSize::Small4K);
+    const Addr b = map.setAddress(101, 0, PageSize::Small4K);
+    EXPECT_EQ(b - a, 64u);
+}
+
+TEST(PomAddrMap, VmIdSpreadsSets)
+{
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    // Equation 1 XORs the VM id into the set index.
+    EXPECT_NE(map.setIndex(100, 1, PageSize::Small4K),
+              map.setIndex(100, 2, PageSize::Small4K));
+    EXPECT_EQ(map.setIndex(100, 1, PageSize::Small4K),
+              (100 ^ 1) % map.numSets(PageSize::Small4K));
+}
+
+TEST(PomAddrMap, PartitionsAreDisjoint)
+{
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    const Addr small_end =
+        map.partitionBase(PageSize::Small4K) +
+        map.numSets(PageSize::Small4K) * 64;
+    EXPECT_EQ(small_end, map.partitionBase(PageSize::Large2M));
+    EXPECT_EQ(map.rangeEnd(),
+              config.baseAddress + config.capacityBytes);
+}
+
+TEST(PomAddrMap, PartitionOfClassifiesAddresses)
+{
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    EXPECT_EQ(map.partitionOf(config.baseAddress),
+              PageSize::Small4K);
+    EXPECT_EQ(map.partitionOf(map.partitionBase(PageSize::Large2M)),
+              PageSize::Large2M);
+    EXPECT_EQ(map.partitionOf(config.baseAddress - 1), std::nullopt);
+    EXPECT_EQ(map.partitionOf(map.rangeEnd()), std::nullopt);
+}
+
+TEST(PomAddrMap, SetIndexWrapsAtPartitionSize)
+{
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    const std::uint64_t sets = map.numSets(PageSize::Small4K);
+    EXPECT_EQ(map.setIndex(sets + 5, 0, PageSize::Small4K), 5u);
+}
+
+TEST(PomAddrMap, SetAddressRoundTripsThroughPartitionOf)
+{
+    PomTlbConfig config;
+    PomTlbAddressMap map(config);
+    for (PageNum vpn = 0; vpn < 10000; vpn += 97) {
+        const Addr small = map.setAddress(vpn, 3, PageSize::Small4K);
+        const Addr large = map.setAddress(vpn, 3, PageSize::Large2M);
+        EXPECT_EQ(map.partitionOf(small), PageSize::Small4K);
+        EXPECT_EQ(map.partitionOf(large), PageSize::Large2M);
+    }
+}
+
+} // namespace
+} // namespace pomtlb

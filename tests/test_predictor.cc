@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Size/bypass predictor tests: indexing, single-bit training (the
+ * paper's default), hysteresis (footnote 2), and accuracy counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pomtlb/predictor.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+/** VA whose predictor index is @p slot (512-entry table). */
+Addr
+vaddrForSlot(unsigned slot)
+{
+    return static_cast<Addr>(slot) << smallPageShift;
+}
+
+TEST(Predictor, DefaultsToSmallAndNoBypass)
+{
+    SizeBypassPredictor predictor;
+    EXPECT_EQ(predictor.predictSize(0x1234000), PageSize::Small4K);
+    EXPECT_FALSE(predictor.predictBypass(0x1234000));
+}
+
+TEST(Predictor, LearnsSizeAfterOneUpdate)
+{
+    SizeBypassPredictor predictor;
+    const Addr vaddr = vaddrForSlot(7);
+    predictor.updateSize(vaddr, PageSize::Large2M);
+    EXPECT_EQ(predictor.predictSize(vaddr), PageSize::Large2M);
+    predictor.updateSize(vaddr, PageSize::Small4K);
+    EXPECT_EQ(predictor.predictSize(vaddr), PageSize::Small4K);
+}
+
+TEST(Predictor, SlotsAreIndependent)
+{
+    SizeBypassPredictor predictor;
+    predictor.updateSize(vaddrForSlot(3), PageSize::Large2M);
+    EXPECT_EQ(predictor.predictSize(vaddrForSlot(4)),
+              PageSize::Small4K);
+}
+
+TEST(Predictor, IndexAliasesEvery512Pages)
+{
+    SizeBypassPredictor predictor;
+    predictor.updateSize(vaddrForSlot(3), PageSize::Large2M);
+    // Slot 3 + 512 aliases onto slot 3.
+    EXPECT_EQ(predictor.predictSize(vaddrForSlot(3 + 512)),
+              PageSize::Large2M);
+}
+
+TEST(Predictor, SizeAccuracyTracksOutcomes)
+{
+    SizeBypassPredictor predictor;
+    const Addr vaddr = vaddrForSlot(1);
+    predictor.updateSize(vaddr, PageSize::Small4K); // correct (init 0)
+    predictor.updateSize(vaddr, PageSize::Large2M); // wrong
+    predictor.updateSize(vaddr, PageSize::Large2M); // correct now
+    EXPECT_EQ(predictor.sizePredictions(), 3u);
+    EXPECT_NEAR(predictor.sizeAccuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Predictor, BypassTrainingFollowsGroundTruth)
+{
+    SizeBypassPredictor predictor;
+    const Addr vaddr = vaddrForSlot(9);
+    predictor.updateBypass(vaddr, false, true);
+    EXPECT_TRUE(predictor.predictBypass(vaddr));
+    predictor.updateBypass(vaddr, true, false);
+    EXPECT_FALSE(predictor.predictBypass(vaddr));
+}
+
+TEST(Predictor, BypassAccuracy)
+{
+    SizeBypassPredictor predictor;
+    const Addr vaddr = vaddrForSlot(9);
+    predictor.updateBypass(vaddr, false, false); // correct
+    predictor.updateBypass(vaddr, false, true);  // wrong
+    EXPECT_EQ(predictor.bypassPredictions(), 2u);
+    EXPECT_DOUBLE_EQ(predictor.bypassAccuracy(), 0.5);
+}
+
+TEST(Predictor, HysteresisNeedsTwoUpdatesToFlip)
+{
+    SizeBypassPredictor predictor(512, /*hysteresis=*/true);
+    const Addr vaddr = vaddrForSlot(5);
+    predictor.updateSize(vaddr, PageSize::Large2M);
+    // One update moves the counter to 1: still predicts small.
+    EXPECT_EQ(predictor.predictSize(vaddr), PageSize::Small4K);
+    predictor.updateSize(vaddr, PageSize::Large2M);
+    EXPECT_EQ(predictor.predictSize(vaddr), PageSize::Large2M);
+    // Saturate at 3, then a single small outcome does not flip it.
+    predictor.updateSize(vaddr, PageSize::Large2M);
+    predictor.updateSize(vaddr, PageSize::Small4K);
+    EXPECT_EQ(predictor.predictSize(vaddr), PageSize::Large2M);
+}
+
+TEST(Predictor, ResetClearsAccuracyNotState)
+{
+    SizeBypassPredictor predictor;
+    const Addr vaddr = vaddrForSlot(2);
+    predictor.updateSize(vaddr, PageSize::Large2M);
+    predictor.resetStats();
+    EXPECT_EQ(predictor.sizePredictions(), 0u);
+    // Learned state survives the stats reset.
+    EXPECT_EQ(predictor.predictSize(vaddr), PageSize::Large2M);
+}
+
+TEST(Predictor, HighAccuracyOnStablePageSizes)
+{
+    // Section 4.3: with region-stable page sizes the predictor is
+    // highly accurate after warmup.
+    SizeBypassPredictor predictor;
+    unsigned correct = 0;
+    const unsigned trials = 2000;
+    for (unsigned i = 0; i < trials; ++i) {
+        const unsigned slot = i % 64;
+        const PageSize actual = (slot % 4 == 0) ? PageSize::Large2M
+                                                : PageSize::Small4K;
+        const Addr vaddr = vaddrForSlot(slot);
+        if (predictor.predictSize(vaddr) == actual)
+            ++correct;
+        predictor.updateSize(vaddr, actual);
+    }
+    EXPECT_GT(static_cast<double>(correct) / trials, 0.95);
+}
+
+} // namespace
+} // namespace pomtlb

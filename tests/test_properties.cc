@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Property-based sweeps (parameterised gtest): invariants that must
+ * hold across benchmarks, schemes, core counts, and random stimulus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "pomtlb/pom_tlb.hh"
+#include "sim/experiment.hh"
+#include "tlb/tlb.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Property: a TLB behaves as a map — whatever was inserted last for
+// a key is what a hit returns — under random stimulus.
+// ---------------------------------------------------------------
+
+class TlbPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TlbPropertyTest, TlbMatchesReferenceMap)
+{
+    TlbConfig config;
+    config.entries = 64;
+    config.associativity = 4;
+    SetAssocTlb tlb(config);
+    Rng rng(GetParam());
+
+    std::unordered_map<std::uint64_t, PageNum> reference;
+    for (int step = 0; step < 20000; ++step) {
+        const PageNum vpn = rng.below(256);
+        const VmId vm = static_cast<VmId>(rng.below(3));
+        const ProcessId pid = static_cast<ProcessId>(rng.below(3));
+        const PageSize size = rng.chance(0.3) ? PageSize::Large2M
+                                              : PageSize::Small4K;
+        const std::uint64_t key =
+            vpn | (static_cast<std::uint64_t>(vm) << 40) |
+            (static_cast<std::uint64_t>(pid) << 48) |
+            (static_cast<std::uint64_t>(size) << 56);
+
+        if (rng.chance(0.7)) {
+            const PageNum pfn = rng.next() & 0xffffff;
+            tlb.insert(vpn, size, vm, pid, pfn);
+            reference[key] = pfn;
+        } else {
+            const TlbLookupResult result =
+                tlb.lookup(vpn, size, vm, pid);
+            if (result.hit) {
+                // A hit must return exactly the last-inserted frame.
+                auto it = reference.find(key);
+                ASSERT_NE(it, reference.end());
+                EXPECT_EQ(result.pfn, it->second);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TlbPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+// ---------------------------------------------------------------
+// Property: the POM-TLB device is also a map, and its entry count
+// never exceeds capacity.
+// ---------------------------------------------------------------
+
+class PomPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PomPropertyTest, DeviceMatchesReferenceMap)
+{
+    PomTlbConfig config;
+    config.capacityBytes = 64 * 1024; // small: force evictions
+    config.baseAddress = Addr{1} << 40;
+    DramConfig die = DramConfig::dieStacked();
+    DramController dram(die);
+    PomTlb pom(config, dram);
+    Rng rng(GetParam());
+
+    std::unordered_map<std::uint64_t, PageNum> reference;
+    const std::uint64_t capacity_entries =
+        config.capacityBytes / config.entryBytes;
+
+    for (int step = 0; step < 20000; ++step) {
+        const Addr vaddr = rng.below(1u << 30) & ~Addr{0xfff};
+        const VmId vm = static_cast<VmId>(rng.below(2));
+        const PageSize size = rng.chance(0.25) ? PageSize::Large2M
+                                               : PageSize::Small4K;
+        const std::uint64_t key =
+            pageNumber(vaddr, size) |
+            (static_cast<std::uint64_t>(vm) << 48) |
+            (static_cast<std::uint64_t>(size) << 60);
+
+        if (rng.chance(0.6)) {
+            const PageNum pfn = rng.next() & 0xffffff;
+            pom.installUntimed(vaddr, vm, 1, size, pfn);
+            reference[key] = pfn;
+        } else {
+            const PomTlbArrayResult result =
+                pom.searchSet(vaddr, vm, 1, size);
+            if (result.hit) {
+                auto it = reference.find(key);
+                ASSERT_NE(it, reference.end());
+                EXPECT_EQ(result.pfn, it->second);
+            }
+        }
+        const std::uint64_t valid =
+            pom.partition(PageSize::Small4K).validEntryCount() +
+            pom.partition(PageSize::Large2M).validEntryCount();
+        ASSERT_LE(valid, capacity_entries);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PomPropertyTest,
+                         ::testing::Values(5, 23, 71));
+
+// ---------------------------------------------------------------
+// Property sweep: for every benchmark profile, the POM-TLB machine
+// (a) never walks more than a small fraction of misses after
+// pre-population and (b) resolves translations consistently with the
+// memory map.
+// ---------------------------------------------------------------
+
+class BenchmarkSweepTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BenchmarkSweepTest, PomWalkFractionTiny)
+{
+    ExperimentConfig config;
+    config.system.numCores = 2;
+    config.engine.refsPerCore = 3000;
+    config.engine.warmupRefsPerCore = 1500;
+    const SchemeRunSummary summary = runScheme(
+        ProfileRegistry::byName(GetParam()), SchemeKind::PomTlb,
+        config);
+    EXPECT_LT(summary.walkFraction, 0.05) << GetParam();
+}
+
+TEST_P(BenchmarkSweepTest, SchemePenaltiesArePositiveAndBounded)
+{
+    ExperimentConfig config;
+    config.system.numCores = 2;
+    config.engine.refsPerCore = 3000;
+    config.engine.warmupRefsPerCore = 1500;
+    for (SchemeKind kind :
+         {SchemeKind::NestedWalk, SchemeKind::PomTlb,
+          SchemeKind::SharedL2, SchemeKind::Tsb}) {
+        const SchemeRunSummary summary = runScheme(
+            ProfileRegistry::byName(GetParam()), kind, config);
+        if (summary.run.totalLastLevelMisses() == 0)
+            continue; // nothing to measure for this workload
+        EXPECT_GT(summary.avgPenaltyPerMiss, 0.0)
+            << GetParam() << "/" << schemeKindName(kind);
+        EXPECT_LT(summary.avgPenaltyPerMiss, 5000.0)
+            << GetParam() << "/" << schemeKindName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkSweepTest,
+    ::testing::Values("astar", "canneal", "gups", "mcf", "lbm",
+                      "streamcluster", "ccomponent", "soplex"));
+
+// ---------------------------------------------------------------
+// Property sweep over core counts: building and running the machine
+// holds its invariants at 1, 2, 4 cores (32-core runs belong to the
+// sensitivity bench, not the unit suite).
+// ---------------------------------------------------------------
+
+class CoreCountTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoreCountTest, MachineRunsAtAnyCoreCount)
+{
+    ExperimentConfig config;
+    config.system.numCores = GetParam();
+    config.engine.refsPerCore = 2000;
+    config.engine.warmupRefsPerCore = 1000;
+    const SchemeRunSummary summary = runScheme(
+        ProfileRegistry::byName("gups"), SchemeKind::PomTlb, config);
+    EXPECT_EQ(summary.run.cores.size(), GetParam());
+    EXPECT_LT(summary.walkFraction, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreCountTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+// ---------------------------------------------------------------
+// Property: POM-TLB capacity sweep never breaks correctness and
+// bigger is never (meaningfully) worse on walk elimination.
+// ---------------------------------------------------------------
+
+class CapacityTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CapacityTest, WalkEliminationHolds)
+{
+    ExperimentConfig config;
+    config.system.numCores = 2;
+    config.system.pomTlb.capacityBytes = GetParam();
+    config.engine.refsPerCore = 3000;
+    config.engine.warmupRefsPerCore = 1500;
+    const SchemeRunSummary summary = runScheme(
+        ProfileRegistry::byName("gups"), SchemeKind::PomTlb, config);
+    EXPECT_LT(summary.walkFraction, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, CapacityTest,
+    ::testing::Values(std::uint64_t{8} << 20, std::uint64_t{16} << 20,
+                      std::uint64_t{32} << 20));
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Radix page-table tests: mapping, walking, PSC-skip walks, page-size
+ * conflicts, and frame-allocator behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pagetable/radix_table.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+class RadixTest : public ::testing::Test
+{
+  protected:
+    RadixTest() : frames(0x1000, Addr{1} << 32) {}
+
+    FrameAllocator frames;
+};
+
+TEST_F(RadixTest, AllocatorAlignsAndAdvances)
+{
+    const Addr a = frames.allocate(PageSize::Small4K);
+    const Addr b = frames.allocate(PageSize::Small4K);
+    EXPECT_EQ(a % smallPageBytes, 0u);
+    EXPECT_EQ(b, a + smallPageBytes);
+    const Addr c = frames.allocate(PageSize::Large2M);
+    EXPECT_EQ(c % largePageBytes, 0u);
+    EXPECT_GT(c, b);
+}
+
+TEST_F(RadixTest, Map4kAndWalk)
+{
+    RadixPageTable table("t", frames);
+    const Addr vaddr = Addr{0x1234} << smallPageShift;
+    table.map(0x1234, PageSize::Small4K, 0x555);
+
+    const RadixWalkPath path = table.walk(vaddr);
+    EXPECT_TRUE(path.present);
+    EXPECT_EQ(path.reads, 4u);
+    EXPECT_EQ(path.pfn, 0x555u);
+    EXPECT_EQ(path.size, PageSize::Small4K);
+    // Levels descend 4, 3, 2, 1.
+    EXPECT_EQ(path.pteLevel[0], 4u);
+    EXPECT_EQ(path.pteLevel[3], 1u);
+}
+
+TEST_F(RadixTest, Map2mWalkIsThreeLevels)
+{
+    RadixPageTable table("t", frames);
+    const Addr vaddr = Addr{0x77} << largePageShift;
+    table.map(0x77, PageSize::Large2M, 0x888);
+
+    const RadixWalkPath path = table.walk(vaddr);
+    EXPECT_TRUE(path.present);
+    EXPECT_EQ(path.reads, 3u);
+    EXPECT_EQ(path.size, PageSize::Large2M);
+    EXPECT_EQ(path.pfn, 0x888u);
+}
+
+TEST_F(RadixTest, UnmappedWalkNotPresent)
+{
+    RadixPageTable table("t", frames);
+    const RadixWalkPath path = table.walk(0xdead000);
+    EXPECT_FALSE(path.present);
+    // The root read still happened before discovering the hole.
+    EXPECT_EQ(path.reads, 1u);
+}
+
+TEST_F(RadixTest, PscSkippedWalkReadsFewerLevels)
+{
+    RadixPageTable table("t", frames);
+    const Addr vaddr = Addr{0x1234} << smallPageShift;
+    table.map(0x1234, PageSize::Small4K, 0x555);
+
+    // PDE-cache hit: start reading at level 1.
+    const RadixWalkPath path = table.walk(vaddr, 1);
+    EXPECT_TRUE(path.present);
+    EXPECT_EQ(path.reads, 1u);
+    EXPECT_EQ(path.pteLevel[0], 1u);
+    EXPECT_EQ(path.pfn, 0x555u);
+}
+
+TEST_F(RadixTest, PteAddressesLiveInTableFrames)
+{
+    RadixPageTable table("t", frames);
+    table.map(0x1234, PageSize::Small4K, 0x555);
+    const RadixWalkPath path =
+        table.walk(Addr{0x1234} << smallPageShift);
+    // The first read is in the root frame.
+    EXPECT_EQ(path.pteAddr[0] & ~Addr{0xfff}, table.rootAddr());
+    // Each PTE is 8-byte aligned within its 4 KB frame.
+    for (unsigned i = 0; i < path.reads; ++i)
+        EXPECT_EQ(path.pteAddr[i] % 8, 0u);
+}
+
+TEST_F(RadixTest, NeighbouringPagesShareTableNodes)
+{
+    RadixPageTable table("t", frames);
+    table.map(0x1000, PageSize::Small4K, 1);
+    const std::uint64_t nodes_before = table.nodeCount();
+    table.map(0x1001, PageSize::Small4K, 2);
+    // The second mapping reuses every intermediate node.
+    EXPECT_EQ(table.nodeCount(), nodes_before);
+    EXPECT_EQ(table.mappedPageCount(), 2u);
+}
+
+TEST_F(RadixTest, DistantPagesAllocateNewNodes)
+{
+    RadixPageTable table("t", frames);
+    table.map(0x1000, PageSize::Small4K, 1);
+    const std::uint64_t nodes_before = table.nodeCount();
+    // A VPN differing in the PML4 index needs a fresh subtree.
+    table.map(Addr{1} << (39 - smallPageShift + 9), PageSize::Small4K,
+              2);
+    EXPECT_GT(table.nodeCount(), nodes_before);
+}
+
+TEST_F(RadixTest, RemapUpdatesFrame)
+{
+    RadixPageTable table("t", frames);
+    table.map(0x10, PageSize::Small4K, 1);
+    table.map(0x10, PageSize::Small4K, 2);
+    EXPECT_EQ(table.mappedPageCount(), 1u);
+    EXPECT_EQ(table.walk(Addr{0x10} << smallPageShift).pfn, 2u);
+}
+
+TEST_F(RadixTest, PageSizeConflictPanics)
+{
+    RadixPageTable table("t", frames);
+    // Map the 2 MB region as a large page, then try a 4 KB page
+    // inside it.
+    table.map(0x5, PageSize::Large2M, 1);
+    const PageNum inside =
+        (Addr{0x5} << (largePageShift - smallPageShift)) + 3;
+    EXPECT_THROW(table.map(inside, PageSize::Small4K, 2),
+                 std::logic_error);
+}
+
+TEST_F(RadixTest, UnmapRemovesTranslation)
+{
+    RadixPageTable table("t", frames);
+    const Addr vaddr = Addr{0x42} << smallPageShift;
+    table.map(0x42, PageSize::Small4K, 9);
+    EXPECT_TRUE(table.isMapped(vaddr));
+    EXPECT_TRUE(table.unmap(vaddr));
+    EXPECT_FALSE(table.isMapped(vaddr));
+    EXPECT_FALSE(table.unmap(vaddr));
+    EXPECT_EQ(table.mappedPageCount(), 0u);
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Replacement-policy tests: LRU exactness, tree-PLRU sanity, random
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru(4, 4);
+    for (unsigned way = 0; way < 4; ++way)
+        lru.touch(0, way);
+    // Way 0 is oldest.
+    EXPECT_EQ(lru.victim(0), 0u);
+    lru.touch(0, 0);
+    // Now way 1 is oldest.
+    EXPECT_EQ(lru.victim(0), 1u);
+}
+
+TEST(Lru, InvalidatedWayPreferred)
+{
+    LruPolicy lru(1, 4);
+    for (unsigned way = 0; way < 4; ++way)
+        lru.touch(0, way);
+    lru.invalidate(0, 2);
+    EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(Lru, SetsAreIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(1, 1);
+    lru.touch(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(TreePlru, VictimNeverMostRecentlyUsed)
+{
+    TreePlruPolicy plru(1, 8);
+    for (int round = 0; round < 100; ++round) {
+        const unsigned touched = round % 8;
+        plru.touch(0, touched);
+        EXPECT_NE(plru.victim(0), touched);
+    }
+}
+
+TEST(TreePlru, InvalidateMakesWayVictim)
+{
+    TreePlruPolicy plru(1, 8);
+    for (unsigned way = 0; way < 8; ++way)
+        plru.touch(0, way);
+    plru.invalidate(0, 3);
+    EXPECT_EQ(plru.victim(0), 3u);
+}
+
+TEST(TreePlru, CyclicTouchesCycleVictims)
+{
+    // Touching every way in order must leave some untouched-longest
+    // way as victim; over rounds, all ways should appear as victims.
+    TreePlruPolicy plru(1, 4);
+    std::set<unsigned> victims;
+    for (int round = 0; round < 16; ++round) {
+        const unsigned v = plru.victim(0);
+        victims.insert(v);
+        plru.touch(0, v);
+    }
+    EXPECT_EQ(victims.size(), 4u);
+}
+
+TEST(Random, DeterministicWithSeed)
+{
+    RandomPolicy a(8, 42);
+    RandomPolicy b(8, 42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.victim(0), b.victim(0));
+}
+
+TEST(Random, CoversAllWays)
+{
+    RandomPolicy random(4, 7);
+    std::set<unsigned> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(random.victim(0));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Factory, CreatesRequestedKind)
+{
+    auto lru = ReplacementPolicy::create(ReplacementKind::Lru, 4, 4);
+    auto plru =
+        ReplacementPolicy::create(ReplacementKind::TreePlru, 4, 4);
+    auto rnd =
+        ReplacementPolicy::create(ReplacementKind::Random, 4, 4, 1);
+    EXPECT_NE(dynamic_cast<LruPolicy *>(lru.get()), nullptr);
+    EXPECT_NE(dynamic_cast<TreePlruPolicy *>(plru.get()), nullptr);
+    EXPECT_NE(dynamic_cast<RandomPolicy *>(rnd.get()), nullptr);
+}
+
+} // namespace
+} // namespace pomtlb

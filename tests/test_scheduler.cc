@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Trace-scheduler tests: instruction-order merging across streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/scheduler.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+std::unique_ptr<TraceGenerator>
+makeGenerator(const char *name, CoreId core)
+{
+    return std::make_unique<TraceGenerator>(
+        ProfileRegistry::byName(name), core, 42);
+}
+
+TEST(Scheduler, SingleStreamPassesThrough)
+{
+    TraceScheduler scheduler;
+    scheduler.addStream(makeGenerator("gups", 0));
+    TraceGenerator reference(ProfileRegistry::byName("gups"), 0, 42);
+    for (int i = 0; i < 100; ++i) {
+        const ScheduledRecord scheduled = scheduler.next();
+        EXPECT_EQ(scheduled.core, 0u);
+        EXPECT_EQ(scheduled.record.vaddr, reference.next().vaddr);
+    }
+}
+
+TEST(Scheduler, InstructionCountsAreMonotonicPerCore)
+{
+    TraceScheduler scheduler;
+    scheduler.addStream(makeGenerator("mcf", 0));
+    scheduler.addStream(makeGenerator("mcf", 1));
+    InstCount last[2] = {0, 0};
+    for (int i = 0; i < 1000; ++i) {
+        const ScheduledRecord scheduled = scheduler.next();
+        ASSERT_LT(scheduled.core, 2u);
+        EXPECT_GT(scheduled.instCount, last[scheduled.core]);
+        last[scheduled.core] = scheduled.instCount;
+    }
+}
+
+TEST(Scheduler, MergesByGlobalInstructionOrder)
+{
+    TraceScheduler scheduler;
+    scheduler.addStream(makeGenerator("gups", 0));
+    scheduler.addStream(makeGenerator("gups", 1));
+    // The gap between the two cores' cumulative instruction counts
+    // stays bounded by one record's gap: the scheduler always
+    // advances the laggard.
+    InstCount counts[2] = {0, 0};
+    for (int i = 0; i < 2000; ++i) {
+        const ScheduledRecord scheduled = scheduler.next();
+        counts[scheduled.core] = scheduled.instCount;
+        if (counts[0] > 0 && counts[1] > 0) {
+            const InstCount hi = std::max(counts[0], counts[1]);
+            const InstCount lo = std::min(counts[0], counts[1]);
+            EXPECT_LE(hi - lo, 200000u);
+        }
+    }
+    // Both cores made comparable progress.
+    EXPECT_GT(counts[0], 0u);
+    EXPECT_GT(counts[1], 0u);
+}
+
+TEST(Scheduler, BothCoresIssueRoughlyEqually)
+{
+    TraceScheduler scheduler;
+    scheduler.addStream(makeGenerator("gups", 0));
+    scheduler.addStream(makeGenerator("gups", 1));
+    int issued[2] = {0, 0};
+    for (int i = 0; i < 10000; ++i)
+        ++issued[scheduler.next().core];
+    EXPECT_NEAR(static_cast<double>(issued[0]) / 10000, 0.5, 0.05);
+}
+
+TEST(Scheduler, StreamCount)
+{
+    TraceScheduler scheduler;
+    EXPECT_EQ(scheduler.streamCount(), 0u);
+    scheduler.addStream(makeGenerator("gups", 0));
+    scheduler.addStream(makeGenerator("mcf", 1));
+    EXPECT_EQ(scheduler.streamCount(), 2u);
+    EXPECT_EQ(scheduler.generator(1).profile().name, "mcf");
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cross-scheme consistency properties under random stimulus: every
+ * translation scheme is a different *cache* of the same underlying
+ * page tables, so all four must return identical host frames for any
+ * interleaving of translations, shootdowns and page sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/machine.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+struct Stimulus
+{
+    Addr vaddr;
+    PageSize size;
+    VmId vm;
+    ProcessId pid;
+    bool shootdown;
+};
+
+std::vector<Stimulus>
+makeStimulus(std::uint64_t seed, int count)
+{
+    Rng rng(seed);
+    std::vector<Stimulus> stimulus;
+    std::vector<Stimulus> pages; // previously touched, for revisits
+    for (int i = 0; i < count; ++i) {
+        Stimulus s;
+        if (!pages.empty() && rng.chance(0.5)) {
+            s = pages[rng.below(pages.size())];
+            s.shootdown = rng.chance(0.05);
+        } else {
+            const bool large = rng.chance(0.3);
+            s.size = large ? PageSize::Large2M : PageSize::Small4K;
+            // Keep 4 KB pages out of 2 MB-page regions: region
+            // [0, 1 GB) is small-page territory, [1 GB, 2 GB) large.
+            if (large) {
+                s.vaddr = (Addr{1} << 30) +
+                          pageBase(rng.below(Addr{1} << 30),
+                                   PageSize::Large2M);
+            } else {
+                s.vaddr = pageBase(rng.below(Addr{1} << 30),
+                                   PageSize::Small4K);
+            }
+            s.vm = static_cast<VmId>(1 + rng.below(2));
+            s.pid = static_cast<ProcessId>(1 + rng.below(2));
+            s.shootdown = false;
+            pages.push_back(s);
+        }
+        stimulus.push_back(s);
+    }
+    return stimulus;
+}
+
+class SchemeConsistencyTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SchemeConsistencyTest, AllSchemesAgreeUnderChurn)
+{
+    const std::vector<Stimulus> stimulus =
+        makeStimulus(GetParam(), 3000);
+
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 2;
+
+    // Drive every scheme with the identical stimulus and collect the
+    // translation each returns.
+    std::vector<std::vector<HostPhysAddr>> results;
+    for (SchemeKind kind :
+         {SchemeKind::NestedWalk, SchemeKind::PomTlb,
+          SchemeKind::SharedL2, SchemeKind::Tsb}) {
+        Machine machine(config, kind);
+        std::vector<HostPhysAddr> translations;
+        Cycles now = 0;
+        CoreId core = 0;
+        for (const Stimulus &s : stimulus) {
+            if (s.shootdown) {
+                machine.shootdownPage(s.vaddr, s.size, s.vm, s.pid);
+                continue;
+            }
+            const MmuResult result = machine.mmu(core).translate(
+                s.vaddr, s.size, s.vm, s.pid, now);
+            translations.push_back(result.hpa);
+            now += 50;
+            core = (core + 1) % config.numCores;
+        }
+        results.push_back(std::move(translations));
+    }
+
+    for (std::size_t scheme = 1; scheme < results.size(); ++scheme) {
+        ASSERT_EQ(results[scheme].size(), results[0].size());
+        for (std::size_t i = 0; i < results[0].size(); ++i) {
+            ASSERT_EQ(results[scheme][i], results[0][i])
+                << "scheme " << scheme << " diverged at stimulus "
+                << i;
+        }
+    }
+}
+
+TEST_P(SchemeConsistencyTest, ShootdownNeverChangesTranslation)
+{
+    // A shootdown drops cached state; the subsequent re-walk must
+    // reproduce the same frame (the OS mapping did not change).
+    Rng rng(GetParam());
+    SystemConfig config = SystemConfig::table1();
+    config.numCores = 1;
+    Machine machine(config, SchemeKind::PomTlb);
+
+    for (int i = 0; i < 200; ++i) {
+        const Addr vaddr =
+            pageBase(rng.below(Addr{1} << 32), PageSize::Small4K);
+        const MmuResult before = machine.mmu(0).translate(
+            vaddr, PageSize::Small4K, 1, 1, i * 100);
+        machine.shootdownPage(vaddr, PageSize::Small4K, 1, 1);
+        const MmuResult after = machine.mmu(0).translate(
+            vaddr, PageSize::Small4K, 1, 1, i * 100 + 50);
+        ASSERT_EQ(before.hpa, after.hpa);
+        ASSERT_TRUE(after.walked);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemeConsistencyTest,
+                         ::testing::Values(11, 29, 53));
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    ++counter;
+    counter += 5;
+    counter.increment(2);
+    EXPECT_EQ(counter.value(), 8u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average avg;
+    EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+    avg.sample(2.0);
+    avg.sample(4.0);
+    avg.sample(6.0);
+    EXPECT_DOUBLE_EQ(avg.mean(), 4.0);
+    EXPECT_EQ(avg.sampleCount(), 3u);
+    EXPECT_DOUBLE_EQ(avg.sum(), 12.0);
+    avg.reset();
+    EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+    EXPECT_EQ(avg.sampleCount(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram hist(10, 5); // buckets [0,10) ... [40,50), overflow
+    hist.sample(0);
+    hist.sample(9);
+    hist.sample(10);
+    hist.sample(49);
+    hist.sample(50);
+    hist.sample(1000);
+    EXPECT_EQ(hist.bucket(0), 2u);
+    EXPECT_EQ(hist.bucket(1), 1u);
+    EXPECT_EQ(hist.bucket(4), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.sampleCount(), 6u);
+    EXPECT_EQ(hist.maxValue(), 1000u);
+    EXPECT_NEAR(hist.mean(), (0 + 9 + 10 + 49 + 50 + 1000) / 6.0, 1e-9);
+
+    hist.reset();
+    EXPECT_EQ(hist.sampleCount(), 0u);
+    EXPECT_EQ(hist.overflow(), 0u);
+}
+
+TEST(StatGroup, DumpContainsRegisteredStats)
+{
+    Counter hits;
+    Average latency;
+    StatGroup group("l1");
+    group.addCounter("hits", hits);
+    group.addAverage("latency", latency);
+    group.addDerived("two", [] { return 2.0; });
+
+    hits += 7;
+    latency.sample(3.0);
+
+    std::ostringstream oss;
+    group.dump(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("l1.hits"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("l1.latency"), std::string::npos);
+    EXPECT_NE(out.find("l1.two"), std::string::npos);
+}
+
+TEST(StatGroup, NestedChildren)
+{
+    Counter c;
+    StatGroup parent("machine");
+    StatGroup child("core0");
+    child.addCounter("events", c);
+    parent.addChild(child);
+    c += 3;
+
+    std::vector<std::pair<std::string, double>> flat;
+    parent.collect(flat);
+    ASSERT_EQ(flat.size(), 1u);
+    EXPECT_EQ(flat[0].first, "machine.core0.events");
+    EXPECT_DOUBLE_EQ(flat[0].second, 3.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+} // namespace
+} // namespace pomtlb

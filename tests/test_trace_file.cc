@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Trace-file serialisation tests: round trips, wrap-around, format
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/generator.hh"
+#include "trace/trace_file.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "pomtlb_trace_test.pomt";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesRecords)
+{
+    const auto &profile = ProfileRegistry::byName("mcf");
+    TraceGenerator generator(profile, 0, 42);
+
+    std::vector<TraceRecord> original;
+    {
+        TraceFileWriter writer(path);
+        for (int i = 0; i < 1000; ++i) {
+            const TraceRecord record = generator.next();
+            original.push_back(record);
+            writer.append(record);
+        }
+    } // destructor finalises the header
+
+    TraceFileReader reader(path, /*wrap=*/false);
+    EXPECT_EQ(reader.recordCount(), 1000u);
+    for (const TraceRecord &expected : original) {
+        const TraceRecord actual = reader.next();
+        EXPECT_EQ(actual.vaddr, expected.vaddr);
+        EXPECT_EQ(actual.instGap, expected.instGap);
+        EXPECT_EQ(actual.type, expected.type);
+        EXPECT_EQ(actual.pageSize, expected.pageSize);
+    }
+}
+
+TEST_F(TraceFileTest, WrapAroundRestarts)
+{
+    {
+        TraceFileWriter writer(path);
+        TraceRecord record;
+        record.vaddr = 0x1000;
+        writer.append(record);
+        record.vaddr = 0x2000;
+        writer.append(record);
+    }
+    TraceFileReader reader(path, /*wrap=*/true);
+    EXPECT_EQ(reader.next().vaddr, 0x1000u);
+    EXPECT_EQ(reader.next().vaddr, 0x2000u);
+    EXPECT_EQ(reader.next().vaddr, 0x1000u); // wrapped
+    EXPECT_EQ(reader.position(), 1u);
+}
+
+TEST_F(TraceFileTest, ExhaustionIsFatalWithoutWrap)
+{
+    {
+        TraceFileWriter writer(path);
+        writer.append(TraceRecord{});
+    }
+    TraceFileReader reader(path, /*wrap=*/false);
+    reader.next();
+    EXPECT_DEATH_IF_SUPPORTED({ reader.next(); }, "");
+}
+
+TEST_F(TraceFileTest, RewindRestarts)
+{
+    {
+        TraceFileWriter writer(path);
+        TraceRecord record;
+        record.vaddr = 0xabc000;
+        writer.append(record);
+        record.vaddr = 0xdef000;
+        writer.append(record);
+    }
+    TraceFileReader reader(path);
+    reader.next();
+    reader.rewind();
+    EXPECT_EQ(reader.next().vaddr, 0xabc000u);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFile)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace";
+    }
+    EXPECT_DEATH_IF_SUPPORTED({ TraceFileReader reader(path); }, "");
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_DEATH_IF_SUPPORTED(
+        { TraceFileReader reader("/nonexistent/trace.pomt"); }, "");
+}
+
+TEST_F(TraceFileTest, RecordTraceHelper)
+{
+    const auto &profile = ProfileRegistry::byName("gups");
+    TraceGenerator generator(profile, 1, 7);
+    EXPECT_EQ(recordTrace(generator, path, 500), 500u);
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.recordCount(), 500u);
+
+    // The file replays the exact generator stream.
+    TraceGenerator fresh(profile, 1, 7);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(reader.next().vaddr, fresh.next().vaddr);
+}
+
+TEST_F(TraceFileTest, FlagsEncodeBothDimensions)
+{
+    {
+        TraceFileWriter writer(path);
+        TraceRecord record;
+        record.vaddr = 0x40000000;
+        record.type = AccessType::Write;
+        record.pageSize = PageSize::Large2M;
+        record.instGap = 77;
+        writer.append(record);
+    }
+    TraceFileReader reader(path);
+    const TraceRecord record = reader.next();
+    EXPECT_EQ(record.type, AccessType::Write);
+    EXPECT_EQ(record.pageSize, PageSize::Large2M);
+    EXPECT_EQ(record.instGap, 77u);
+}
+
+} // namespace
+} // namespace pomtlb

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * pomtlb — command-line front end to the simulator.
+ *
+ * Commands:
+ *   list                       list the built-in benchmark profiles
+ *   show-config                print the Table 1 machine parameters
+ *   run                        run one benchmark under one scheme
+ *   compare                    run all four schemes (a Figure 8 row)
+ *   record-trace               dump a synthetic trace to a file
+ *   replay-trace               drive a machine from trace files
+ *
+ * Common options (run / compare):
+ *   --benchmark NAME           workload (default mcf)
+ *   --scheme KIND              baseline|pom|shared|tsb (run only)
+ *   --cores N                  core count (default 8)
+ *   --refs N                   measured references per core
+ *   --warmup N                 warmup references per core
+ *   --capacity MB              POM-TLB capacity
+ *   --seed N                   experiment seed
+ *   --native                   native (non-virtualized) mode
+ *   --no-caching               POM-TLB entries not cacheable
+ *   --no-bypass                disable the bypass predictor
+ *   --no-size-predictor        disable the page-size predictor
+ *   --unified                  unified skewed POM-TLB organisation
+ *   --prefetch                 prefetch the adjacent page's set line
+ *   --tlb-aware                TLB-aware cache replacement (S 5.1)
+ *   --shootdown-interval N     inject a TLB shootdown every N refs
+ *   --stats                    dump per-component statistics
+ *
+ * record-trace options:
+ *   --benchmark NAME --core N --count N --out FILE
+ *
+ * replay-trace options:
+ *   --trace FILE (repeatable; one per core, reused cyclically)
+ *   plus the run options above (--benchmark supplies the workload
+ *   metadata the performance model needs)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "sim/experiment.hh"
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+#include "sim/perf_model.hh"
+#include "trace/generator.hh"
+#include "trace/source.hh"
+#include "trace/trace_file.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+
+struct CliOptions
+{
+    std::string benchmark = "mcf";
+    std::string scheme = "pom";
+    unsigned cores = 8;
+    std::uint64_t refs = 0;   // 0 = default
+    std::uint64_t warmup = 0; // 0 = default
+    std::uint64_t capacityMb = 0;
+    std::uint64_t seed = 0;
+    bool native = false;
+    bool noCaching = false;
+    bool noBypass = false;
+    bool noSizePredictor = false;
+    bool unified = false;
+    bool prefetch = false;
+    bool tlbAware = false;
+    std::uint64_t shootdownInterval = 0;
+    bool dumpStats = false;
+
+    // record-trace
+    unsigned core = 0;
+    std::uint64_t count = 100000;
+    std::string outPath = "trace.pomt";
+
+    // replay-trace
+    std::vector<std::string> tracePaths;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pomtlb <list|show-config|run|compare|record-trace|replay-trace> "
+        "[options]\n  see the header of tools/pomtlb_cli.cc or the "
+        "README for the option list\n");
+    std::exit(2);
+}
+
+std::uint64_t
+parseNumber(const char *text)
+{
+    char *end = nullptr;
+    const std::uint64_t value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "bad number: '%s'\n", text);
+        std::exit(2);
+    }
+    return value;
+}
+
+CliOptions
+parseOptions(int argc, char **argv, int first)
+{
+    CliOptions options;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--benchmark")
+            options.benchmark = next();
+        else if (arg == "--scheme")
+            options.scheme = next();
+        else if (arg == "--cores")
+            options.cores = static_cast<unsigned>(parseNumber(next()));
+        else if (arg == "--refs")
+            options.refs = parseNumber(next());
+        else if (arg == "--warmup")
+            options.warmup = parseNumber(next());
+        else if (arg == "--capacity")
+            options.capacityMb = parseNumber(next());
+        else if (arg == "--seed")
+            options.seed = parseNumber(next());
+        else if (arg == "--native")
+            options.native = true;
+        else if (arg == "--no-caching")
+            options.noCaching = true;
+        else if (arg == "--no-bypass")
+            options.noBypass = true;
+        else if (arg == "--no-size-predictor")
+            options.noSizePredictor = true;
+        else if (arg == "--unified")
+            options.unified = true;
+        else if (arg == "--prefetch")
+            options.prefetch = true;
+        else if (arg == "--tlb-aware")
+            options.tlbAware = true;
+        else if (arg == "--shootdown-interval")
+            options.shootdownInterval = parseNumber(next());
+        else if (arg == "--stats")
+            options.dumpStats = true;
+        else if (arg == "--core")
+            options.core = static_cast<unsigned>(parseNumber(next()));
+        else if (arg == "--count")
+            options.count = parseNumber(next());
+        else if (arg == "--out")
+            options.outPath = next();
+        else if (arg == "--trace")
+            options.tracePaths.push_back(next());
+        else
+            usage();
+    }
+    return options;
+}
+
+SchemeKind
+schemeFromName(const std::string &name)
+{
+    if (name == "baseline" || name == "nested")
+        return SchemeKind::NestedWalk;
+    if (name == "pom" || name == "pom-tlb")
+        return SchemeKind::PomTlb;
+    if (name == "shared" || name == "shared-l2")
+        return SchemeKind::SharedL2;
+    if (name == "tsb")
+        return SchemeKind::Tsb;
+    std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+ExperimentConfig
+configFrom(const CliOptions &options)
+{
+    ExperimentConfig config = defaultExperimentConfig();
+    config.system.numCores = options.cores;
+    if (options.refs)
+        config.engine.refsPerCore = options.refs;
+    if (options.warmup)
+        config.engine.warmupRefsPerCore = options.warmup;
+    if (options.capacityMb)
+        config.system.pomTlb.capacityBytes = options.capacityMb << 20;
+    if (options.seed)
+        config.engine.seed = options.seed;
+    if (options.native)
+        config.system.mode = ExecMode::Native;
+    config.system.pomTlb.cacheable = !options.noCaching;
+    config.system.pomTlb.bypassPredictor = !options.noBypass;
+    config.system.pomTlb.sizePredictor = !options.noSizePredictor;
+    config.system.pomTlb.unifiedOrganization = options.unified;
+    config.system.pomTlb.prefetchNextSet = options.prefetch;
+    config.system.tlbAwareCaching = options.tlbAware;
+    config.engine.shootdownIntervalRefs = options.shootdownInterval;
+    return config;
+}
+
+int
+commandList()
+{
+    ResultTable table({"name", "pattern", "mode", "footprint",
+                       "large pages %", "ovh virt %"});
+    for (const auto &profile : ProfileRegistry::all()) {
+        table.addRow(
+            {profile.name, accessPatternName(profile.pattern),
+             profile.multithreaded ? "multithreaded" : "rate",
+             std::to_string(profile.footprintBytes >> 20) + "MB",
+             ResultTable::num(profile.fracLargePagesPct, 1),
+             ResultTable::num(profile.overheadVirtualPct, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+commandShowConfig()
+{
+    const SystemConfig config = SystemConfig::table1();
+    std::printf("cores               : %u @ %.1f GHz\n",
+                config.numCores, config.coreFreqGhz);
+    std::printf("L1D / L2 / L3       : %lluKB / %lluKB / %lluMB\n",
+                static_cast<unsigned long long>(
+                    config.l1d.sizeBytes >> 10),
+                static_cast<unsigned long long>(
+                    config.l2.sizeBytes >> 10),
+                static_cast<unsigned long long>(
+                    config.l3.sizeBytes >> 20));
+    std::printf("L1 TLB (4K/2M)      : %u / %u entries\n",
+                config.l1TlbSmall.entries, config.l1TlbLarge.entries);
+    std::printf("L2 TLB              : %u entries, %u-way\n",
+                config.l2Tlb.entries, config.l2Tlb.associativity);
+    std::printf("PSC (PML4/PDP/PDE)  : %u / %u / %u entries\n",
+                config.psc.pml4Entries, config.psc.pdpEntries,
+                config.psc.pdeEntries);
+    std::printf("POM-TLB             : %lluMB, %u-way, base 0x%llx\n",
+                static_cast<unsigned long long>(
+                    config.pomTlb.capacityBytes >> 20),
+                config.pomTlb.associativity,
+                static_cast<unsigned long long>(
+                    config.pomTlb.baseAddress));
+    std::printf("die-stacked DRAM    : %u banks, tCAS/tRCD/tRP "
+                "%u-%u-%u @ %.1f GHz\n",
+                config.dieStacked.numBanks, config.dieStacked.tCas,
+                config.dieStacked.tRcd, config.dieStacked.tRp,
+                config.dieStacked.busFreqGhz);
+    std::printf("DDR4 main memory    : %u banks x %u channels, "
+                "%u-%u-%u @ %.3f GHz\n",
+                config.mainMemory.numBanks,
+                config.mainMemory.numChannels, config.mainMemory.tCas,
+                config.mainMemory.tRcd, config.mainMemory.tRp,
+                config.mainMemory.busFreqGhz);
+    return 0;
+}
+
+int
+commandRun(const CliOptions &options)
+{
+    const BenchmarkProfile &profile =
+        ProfileRegistry::byName(options.benchmark);
+    const ExperimentConfig config = configFrom(options);
+    const SchemeKind kind = schemeFromName(options.scheme);
+
+    Machine machine(config.system, kind);
+    SimulationEngine engine(machine, profile, config.engine);
+    const RunResult result = engine.run();
+
+    std::printf("benchmark             : %s\n", profile.name.c_str());
+    std::printf("scheme                : %s\n", schemeKindName(kind));
+    std::printf("mode                  : %s\n",
+                execModeName(config.system.mode));
+    std::printf("refs (measured)       : %llu\n",
+                static_cast<unsigned long long>(result.totalRefs()));
+    std::printf("L2 TLB misses         : %llu\n",
+                static_cast<unsigned long long>(
+                    result.totalLastLevelMisses()));
+    std::printf("avg penalty per miss  : %.2f cycles\n",
+                result.avgPenaltyPerMiss());
+    std::printf("page walks            : %llu (%.2f%% of misses)\n",
+                static_cast<unsigned long long>(
+                    result.totalPageWalks()),
+                100.0 * result.walkFraction());
+    if (result.totalShootdowns() > 0) {
+        std::printf("shootdowns injected   : %llu\n",
+                    static_cast<unsigned long long>(
+                        result.totalShootdowns()));
+    }
+    if (PomTlbScheme *pom = machine.pomTlbScheme()) {
+        std::printf("served by L2D$/L3D$   : %.1f%% / %.1f%% (of "
+                    "remainder)\n",
+                    100.0 * pom->l2CacheServiceRate(),
+                    100.0 * pom->l3CacheServiceRate());
+        std::printf("size/bypass accuracy  : %.1f%% / %.1f%%\n",
+                    100.0 * pom->sizePredictorAccuracy(),
+                    100.0 * pom->bypassPredictorAccuracy());
+        std::printf("die-stacked RBH       : %.1f%%\n",
+                    100.0 *
+                        machine.pomTlbDevice()->rowBufferHitRate());
+    }
+    if (options.dumpStats) {
+        std::printf("\n-- component statistics --\n");
+        machine.dumpStats(std::cout);
+    }
+    return 0;
+}
+
+int
+commandCompare(const CliOptions &options)
+{
+    const BenchmarkProfile &profile =
+        ProfileRegistry::byName(options.benchmark);
+    const ExperimentConfig config = configFrom(options);
+    const BenchmarkComparison comparison =
+        compareSchemes(profile, config);
+
+    ResultTable table({"scheme", "cycles/miss", "cost ratio",
+                       "improvement %"});
+    table.addRow({"Baseline",
+                  ResultTable::num(
+                      comparison.baseline.avgPenaltyPerMiss, 1),
+                  "1.000", "0.00"});
+    table.addRow(
+        {"POM-TLB",
+         ResultTable::num(comparison.pomTlb.avgPenaltyPerMiss, 1),
+         ResultTable::num(comparison.pomCostRatio, 3),
+         ResultTable::num(comparison.pomImprovementPct, 2)});
+    table.addRow(
+        {"Shared_L2",
+         ResultTable::num(comparison.sharedL2.avgPenaltyPerMiss, 1),
+         ResultTable::num(comparison.sharedCostRatio, 3),
+         ResultTable::num(comparison.sharedImprovementPct, 2)});
+    table.addRow(
+        {"TSB", ResultTable::num(comparison.tsb.avgPenaltyPerMiss, 1),
+         ResultTable::num(comparison.tsbCostRatio, 3),
+         ResultTable::num(comparison.tsbImprovementPct, 2)});
+
+    std::printf("benchmark: %s (ovh %s%% measured)\n\n",
+                profile.name.c_str(),
+                ResultTable::num(profile.overheadVirtualPct, 2)
+                    .c_str());
+    table.print(std::cout);
+    return 0;
+}
+
+int
+commandReplayTrace(const CliOptions &options)
+{
+    if (options.tracePaths.empty()) {
+        std::fprintf(stderr,
+                     "replay-trace needs at least one --trace FILE\n");
+        return 2;
+    }
+    const BenchmarkProfile &profile =
+        ProfileRegistry::byName(options.benchmark);
+    const ExperimentConfig config = configFrom(options);
+    const SchemeKind kind = schemeFromName(options.scheme);
+
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    for (unsigned core = 0; core < options.cores; ++core) {
+        const std::string &path =
+            options.tracePaths[core % options.tracePaths.size()];
+        sources.push_back(std::make_unique<FileSource>(path));
+    }
+
+    Machine machine(config.system, kind);
+    SimulationEngine engine(machine, profile, config.engine,
+                            std::move(sources));
+    const RunResult result = engine.run();
+
+    std::printf("replayed %llu refs from %zu trace file(s) under "
+                "%s\n",
+                static_cast<unsigned long long>(result.totalRefs()),
+                options.tracePaths.size(), schemeKindName(kind));
+    std::printf("L2 TLB misses         : %llu\n",
+                static_cast<unsigned long long>(
+                    result.totalLastLevelMisses()));
+    std::printf("avg penalty per miss  : %.2f cycles\n",
+                result.avgPenaltyPerMiss());
+    std::printf("page walks            : %.2f%% of misses\n",
+                100.0 * result.walkFraction());
+    return 0;
+}
+
+int
+commandRecordTrace(const CliOptions &options)
+{
+    const BenchmarkProfile &profile =
+        ProfileRegistry::byName(options.benchmark);
+    TraceGenerator generator(profile, options.core,
+                             options.seed ? options.seed : 42);
+    const std::uint64_t written =
+        recordTrace(generator, options.outPath, options.count);
+    std::printf("wrote %llu records of '%s' (core %u) to %s\n",
+                static_cast<unsigned long long>(written),
+                profile.name.c_str(), options.core,
+                options.outPath.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string command = argv[1];
+    const CliOptions options = parseOptions(argc, argv, 2);
+
+    if (command == "list")
+        return commandList();
+    if (command == "show-config")
+        return commandShowConfig();
+    if (command == "run")
+        return commandRun(options);
+    if (command == "compare")
+        return commandCompare(options);
+    if (command == "record-trace")
+        return commandRecordTrace(options);
+    if (command == "replay-trace")
+        return commandReplayTrace(options);
+    usage();
+}
