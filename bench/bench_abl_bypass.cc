@@ -15,6 +15,8 @@
 
 #include "bench_common.hh"
 
+#include "sim/sweep.hh"
+
 namespace
 {
 
@@ -23,26 +25,51 @@ using namespace pomtlb::bench;
 
 const char *const workloads[] = {"mcf", "zeusmp", "gups", "soplex"};
 
-double
-penaltyWith(const BenchmarkProfile &profile, bool size_predictor,
-            bool bypass_predictor)
+/** Predictor variant applied to the base figure configuration. */
+void
+predictors(ExperimentConfig &config, bool size_predictor,
+           bool bypass_predictor)
 {
-    ExperimentConfig config = figureConfig();
     config.system.pomTlb.sizePredictor = size_predictor;
     config.system.pomTlb.bypassPredictor = bypass_predictor;
-    const SchemeRunSummary summary =
-        runScheme(profile, SchemeKind::PomTlb, config);
-    return summary.avgPenaltyPerMiss;
 }
 
 void
 runBypass(::benchmark::State &state, const BenchmarkProfile &profile)
 {
+    // The four predictor configurations are a textbook sweep: one
+    // benchmark, one scheme, four config variants, fanned out over
+    // the configured worker pool.
+    const ExperimentConfig config = figureConfig();
+    const SweepSpec spec =
+        SweepSpec()
+            .withBase(config)
+            .withBenchmarks({profile.name})
+            .withSchemes({SchemeKind::PomTlb})
+            .withVariant("both",
+                         [](ExperimentConfig &c) {
+                             predictors(c, true, true);
+                         })
+            .withVariant("no-bypass",
+                         [](ExperimentConfig &c) {
+                             predictors(c, true, false);
+                         })
+            .withVariant("no-size",
+                         [](ExperimentConfig &c) {
+                             predictors(c, false, true);
+                         })
+            .withVariant("neither", [](ExperimentConfig &c) {
+                predictors(c, false, false);
+            });
+
     for (auto _ : state) {
-        const double both = penaltyWith(profile, true, true);
-        const double no_bypass = penaltyWith(profile, true, false);
-        const double no_size = penaltyWith(profile, false, true);
-        const double neither = penaltyWith(profile, false, false);
+        const std::vector<ExperimentResult> results =
+            SweepRunner(config.sweepJobs).run(spec);
+        const double both = results[0].summary.avgPenaltyPerMiss;
+        const double no_bypass =
+            results[1].summary.avgPenaltyPerMiss;
+        const double no_size = results[2].summary.avgPenaltyPerMiss;
+        const double neither = results[3].summary.avgPenaltyPerMiss;
         state.counters["both"] = both;
         state.counters["no_bypass"] = no_bypass;
         collector().record(profile.name,

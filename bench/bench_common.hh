@@ -9,9 +9,15 @@
  * for external plotting.
  *
  * Environment:
- *  - POMTLB_QUICK=1      shrink run lengths for smoke testing;
- *  - POMTLB_CSV=1        also emit CSV;
- *  - POMTLB_CORES=<n>    override the Table 1 core count.
+ *  - POMTLB_QUICK=1        shrink run lengths for smoke testing;
+ *  - POMTLB_CSV=1          also emit CSV;
+ *  - POMTLB_CORES=<n>      override the Table 1 core count;
+ *  - POMTLB_SWEEP_JOBS=<n> fan independent scheme runs out over n
+ *                          worker threads (see sim/sweep.hh).
+ *
+ * Command line: `--jobs N` (or `--jobs=N`) overrides
+ * POMTLB_SWEEP_JOBS; it is stripped before google-benchmark parses
+ * the remaining flags.
  */
 
 #ifndef POMTLB_BENCH_BENCH_COMMON_HH
@@ -35,6 +41,14 @@ namespace pomtlb
 namespace bench
 {
 
+/** Worker-thread override from `--jobs N` (0 = not given). */
+inline unsigned &
+jobsOverride()
+{
+    static unsigned jobs = 0;
+    return jobs;
+}
+
 /** The standard experiment configuration for the figure benches. */
 inline ExperimentConfig
 figureConfig()
@@ -42,6 +56,8 @@ figureConfig()
     ExperimentConfig config = defaultExperimentConfig();
     if (const char *cores = std::getenv("POMTLB_CORES"))
         config.system.numCores = std::atoi(cores);
+    if (jobsOverride() != 0)
+        config.sweepJobs = jobsOverride();
     return config;
 }
 
@@ -151,11 +167,37 @@ registerPerWorkload(const std::string &prefix,
     }
 }
 
+/**
+ * Strip `--jobs N` / `--jobs=N` from argv (google-benchmark rejects
+ * unknown flags) and record the value in jobsOverride().
+ */
+inline void
+extractJobsFlag(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobsOverride() =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+            continue;
+        }
+        if (arg.rfind("--jobs=", 0) == 0) {
+            jobsOverride() = static_cast<unsigned>(
+                std::atoi(arg.c_str() + sizeof("--jobs=") - 1));
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+}
+
 /** Standard bench main: run benchmarks, then print the figure. */
 inline int
 benchMain(int argc, char **argv, const std::string &figure_id,
           const std::string &description, int precision = 2)
 {
+    extractJobsFlag(argc, argv);
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

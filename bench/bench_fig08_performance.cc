@@ -26,18 +26,23 @@ runFig8(::benchmark::State &state, const BenchmarkProfile &profile)
     for (auto _ : state) {
         const BenchmarkComparison comparison =
             compareSchemes(profile, config);
-        state.counters["pom_improvement_pct"] =
-            comparison.pomImprovementPct;
-        state.counters["shared_l2_improvement_pct"] =
-            comparison.sharedImprovementPct;
-        state.counters["tsb_improvement_pct"] =
-            comparison.tsbImprovementPct;
-        collector().record(
-            profile.name,
-            {{"POM-TLB (%)", comparison.pomImprovementPct},
-             {"Shared_L2 (%)", comparison.sharedImprovementPct},
-             {"TSB (%)", comparison.tsbImprovementPct},
-             {"pom_cost_ratio", comparison.pomCostRatio}});
+        // Runs/deltas are keyed by SchemeKind, so a fifth scheme
+        // shows up here without editing this bench.
+        std::vector<std::pair<std::string, double>> row;
+        for (const auto &[kind, summary] : comparison.runs) {
+            (void)summary;
+            if (kind == SchemeKind::NestedWalk)
+                continue;
+            const std::string name = schemeKindName(kind);
+            const SchemeDelta &delta = comparison.delta(kind);
+            state.counters[name + "_improvement_pct"] =
+                delta.improvementPct;
+            row.emplace_back(name + " (%)", delta.improvementPct);
+        }
+        row.emplace_back(
+            "pom_cost_ratio",
+            comparison.delta(SchemeKind::PomTlb).costRatio);
+        collector().record(profile.name, std::move(row));
     }
 }
 

@@ -1,14 +1,25 @@
 #!/usr/bin/env python3
-"""Plot the figure benches' CSV output.
+"""Plot the figure benches' CSV output or a sweep's JSON output.
 
 Usage:
     POMTLB_CSV=1 build/bench/bench_fig08_performance > fig08.txt
     scripts/plot_results.py fig08.txt -o fig08.png
 
-Parses the ``[csv]`` block a bench emits under POMTLB_CSV=1 (the
-aligned table is for humans; the CSV block is for this script) and
-renders a grouped bar chart in the paper's figure style: benchmarks
-on the x-axis, one bar group per numeric column.
+    build/tools/pomtlb sweep --jobs 8 --out sweep.json
+    scripts/plot_results.py sweep.json -o sweep.png \\
+        --metric walk_fraction
+
+Two input formats are accepted and auto-detected:
+
+* the ``[csv]`` block a bench emits under POMTLB_CSV=1 (the aligned
+  table is for humans; the CSV block is for this script), and
+* the ``pomtlb-sweep-v1`` JSON document ``SweepResultWriter`` emits
+  (``pomtlb sweep --out``), from which ``--metric`` picks one summary
+  field per run; runs become rows keyed by benchmark, with one series
+  per scheme (and variant label, if any).
+
+Either way the result is a grouped bar chart in the paper's figure
+style: benchmarks on the x-axis, one bar group per series.
 
 Requires matplotlib (not needed for anything else in the repo).
 """
@@ -16,7 +27,42 @@ Requires matplotlib (not needed for anything else in the repo).
 import argparse
 import csv
 import io
+import json
 import sys
+
+
+def sweep_rows(
+    document: dict, metric: str
+) -> list[dict[str, str]]:
+    """Flatten a pomtlb-sweep-v1 document into CSV-style rows.
+
+    One row per benchmark; one column per scheme[/label] holding the
+    requested summary *metric* (or ``wall_seconds``).
+    """
+    if document.get("schema") != "pomtlb-sweep-v1":
+        raise SystemExit(
+            "unrecognised JSON schema: expected pomtlb-sweep-v1"
+        )
+    table: dict[str, dict[str, str]] = {}
+    for run in document.get("runs", []):
+        series = run["scheme"]
+        if run.get("label"):
+            series += "/" + run["label"]
+        if metric == "wall_seconds":
+            value = run["wall_seconds"]
+        else:
+            summary = run["summary"]
+            if metric not in summary:
+                raise SystemExit(
+                    f"metric {metric!r} not in summary; available: "
+                    + ", ".join(sorted(summary))
+                )
+            value = summary[metric]
+        row = table.setdefault(
+            run["benchmark"], {"benchmark": run["benchmark"]}
+        )
+        row[series] = str(value)
+    return list(table.values())
 
 
 def extract_csv(text: str) -> list[dict[str, str]]:
@@ -36,7 +82,10 @@ def extract_csv(text: str) -> list[dict[str, str]]:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("input", help="bench output file (with [csv])")
+    parser.add_argument(
+        "input",
+        help="bench output file (with [csv]) or sweep JSON",
+    )
     parser.add_argument("-o", "--output", default="figure.png")
     parser.add_argument("--title", default=None)
     parser.add_argument(
@@ -44,12 +93,23 @@ def main() -> int:
         action="store_true",
         help="omit the summary 'average' row",
     )
+    parser.add_argument(
+        "--metric",
+        default="translation_cycles",
+        help="summary field to plot from sweep JSON input "
+        "(default: translation_cycles; 'wall_seconds' plots the "
+        "per-run wall clock)",
+    )
     args = parser.parse_args()
 
     with open(args.input, encoding="utf-8") as handle:
-        rows = extract_csv(handle.read())
+        text = handle.read()
+    if text.lstrip().startswith("{"):
+        rows = sweep_rows(json.loads(text), args.metric)
+    else:
+        rows = extract_csv(text)
     if not rows:
-        raise SystemExit("empty CSV block")
+        raise SystemExit("no rows found in input")
 
     label_key = next(iter(rows[0]))
     value_keys = [k for k in rows[0] if k != label_key]

@@ -2,15 +2,23 @@
 # Regenerate every table and figure of the paper, tee-ing the output
 # the way EXPERIMENTS.md records it.
 #
-#   scripts/run_all_experiments.sh [build-dir] [output-file]
+#   scripts/run_all_experiments.sh [build-dir] [output-file] [jobs]
 #
 # Environment: POMTLB_QUICK=1 for a fast smoke pass, POMTLB_CSV=1 for
-# CSV blocks, POMTLB_CORES=n to override the core count.
+# CSV blocks, POMTLB_CORES=n to override the core count,
+# POMTLB_SWEEP_JOBS=n to run each figure's experiments on n worker
+# threads (the third positional argument sets it for you; results
+# are bit-identical at every job count).
 
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUTPUT="${2:-bench_output.txt}"
+JOBS="${3:-${POMTLB_SWEEP_JOBS:-}}"
+if [ -n "$JOBS" ]; then
+    export POMTLB_SWEEP_JOBS="$JOBS"
+    echo "running with POMTLB_SWEEP_JOBS=$JOBS"
+fi
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
     echo "error: $BUILD_DIR/bench not found — build the project first" >&2

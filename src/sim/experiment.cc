@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "sim/machine.hh"
 #include "sim/perf_model.hh"
+#include "sim/sweep.hh"
 
 namespace pomtlb
 {
@@ -13,32 +14,9 @@ SchemeRunSummary
 runScheme(const BenchmarkProfile &profile, SchemeKind scheme,
           const ExperimentConfig &config)
 {
-    Machine machine(config.system, scheme);
-    SimulationEngine engine(machine, profile, config.engine);
-
-    SchemeRunSummary summary;
-    summary.benchmark = profile.name;
-    summary.scheme = scheme;
-    summary.mode = config.system.mode;
-    summary.run = engine.run();
-
-    summary.translationCycles = summary.run.totalTranslationCycles();
-    summary.avgPenaltyPerMiss = summary.run.avgPenaltyPerMiss();
-    summary.walkFraction = summary.run.walkFraction();
-    summary.l3DataHitRate =
-        machine.hierarchy().l3d().hitRate(LineKind::Data);
-
-    if (PomTlbScheme *pom = machine.pomTlbScheme()) {
-        summary.pomL2CacheServiceRate = pom->l2CacheServiceRate();
-        summary.pomL3CacheServiceRate = pom->l3CacheServiceRate();
-        summary.pomDramServiceRate = pom->pomDramServiceRate();
-        summary.sizePredictorAccuracy = pom->sizePredictorAccuracy();
-        summary.bypassPredictorAccuracy =
-            pom->bypassPredictorAccuracy();
-        summary.dieStackedRowBufferHitRate =
-            machine.pomTlbDevice()->rowBufferHitRate();
-    }
-    return summary;
+    return runExperiment(
+               ExperimentRequest::of(profile.name, scheme, config))
+        .summary;
 }
 
 namespace
@@ -57,34 +35,53 @@ costRatio(const SchemeRunSummary &scheme,
 
 } // namespace
 
+const SchemeRunSummary &
+BenchmarkComparison::summary(SchemeKind kind) const
+{
+    for (const auto &entry : runs)
+        if (entry.first == kind)
+            return entry.second;
+    fatal("comparison for '", benchmark, "' has no ",
+          schemeKindName(kind), " run");
+}
+
+const SchemeDelta &
+BenchmarkComparison::delta(SchemeKind kind) const
+{
+    const auto it = deltas.find(kind);
+    if (it == deltas.end()) {
+        fatal("comparison for '", benchmark, "' has no ",
+              schemeKindName(kind), " delta");
+    }
+    return it->second;
+}
+
 BenchmarkComparison
 compareSchemes(const BenchmarkProfile &profile,
                const ExperimentConfig &config)
 {
+    const std::vector<ExperimentResult> results =
+        SweepRunner(config.sweepJobs)
+            .run(SweepSpec()
+                     .withBase(config)
+                     .withBenchmarks({profile.name})
+                     .withAllSchemes());
+
     BenchmarkComparison comparison;
     comparison.benchmark = profile.name;
+    for (const ExperimentResult &result : results)
+        comparison.runs.emplace_back(result.request.scheme,
+                                     result.summary);
 
-    comparison.baseline =
-        runScheme(profile, SchemeKind::NestedWalk, config);
-    comparison.pomTlb = runScheme(profile, SchemeKind::PomTlb, config);
-    comparison.sharedL2 =
-        runScheme(profile, SchemeKind::SharedL2, config);
-    comparison.tsb = runScheme(profile, SchemeKind::Tsb, config);
-
-    comparison.pomCostRatio =
-        costRatio(comparison.pomTlb, comparison.baseline);
-    comparison.sharedCostRatio =
-        costRatio(comparison.sharedL2, comparison.baseline);
-    comparison.tsbCostRatio =
-        costRatio(comparison.tsb, comparison.baseline);
-
+    const SchemeRunSummary &baseline = comparison.baseline();
     const ExecMode mode = config.system.mode;
-    comparison.pomImprovementPct = PerfModel::improvementPct(
-        profile, mode, comparison.pomCostRatio);
-    comparison.sharedImprovementPct = PerfModel::improvementPct(
-        profile, mode, comparison.sharedCostRatio);
-    comparison.tsbImprovementPct = PerfModel::improvementPct(
-        profile, mode, comparison.tsbCostRatio);
+    for (const auto &[kind, summary] : comparison.runs) {
+        SchemeDelta delta;
+        delta.costRatio = costRatio(summary, baseline);
+        delta.improvementPct = PerfModel::improvementPct(
+            profile, mode, delta.costRatio);
+        comparison.deltas.emplace(kind, delta);
+    }
     return comparison;
 }
 
@@ -92,12 +89,29 @@ double
 pomImprovementOnly(const BenchmarkProfile &profile,
                    const ExperimentConfig &config)
 {
-    const SchemeRunSummary baseline =
-        runScheme(profile, SchemeKind::NestedWalk, config);
-    const SchemeRunSummary pom =
-        runScheme(profile, SchemeKind::PomTlb, config);
-    return PerfModel::improvementPct(profile, config.system.mode,
-                                     costRatio(pom, baseline));
+    return pomImprovementOnly(profile, config, config.system);
+}
+
+double
+pomImprovementOnly(const BenchmarkProfile &profile,
+                   const ExperimentConfig &config,
+                   const SystemConfig &pom_system)
+{
+    ExperimentConfig pom_config = config;
+    pom_config.system = pom_system;
+
+    const std::vector<ExperimentResult> results =
+        SweepRunner(config.sweepJobs)
+            .run({ExperimentRequest::of(profile.name,
+                                        SchemeKind::NestedWalk,
+                                        config),
+                  ExperimentRequest::of(profile.name,
+                                        SchemeKind::PomTlb,
+                                        pom_config)});
+
+    return PerfModel::improvementPct(
+        profile, config.system.mode,
+        costRatio(results[1].summary, results[0].summary));
 }
 
 ExperimentConfig
@@ -109,6 +123,13 @@ defaultExperimentConfig()
     if (std::getenv("POMTLB_QUICK") != nullptr) {
         config.engine.refsPerCore = 20000;
         config.engine.warmupRefsPerCore = 5000;
+    }
+    // POMTLB_SWEEP_JOBS presets the fan-out of the multi-run
+    // helpers (CI throttles with =1; workstations raise it).
+    if (const char *jobs = std::getenv("POMTLB_SWEEP_JOBS")) {
+        const long value = std::strtol(jobs, nullptr, 10);
+        if (value > 0)
+            config.sweepJobs = static_cast<unsigned>(value);
     }
     return config;
 }

@@ -4,12 +4,19 @@
  * examples, and the integration tests: build a machine for a scheme,
  * drive a benchmark through it, and summarise the statistics every
  * figure of the paper needs.
+ *
+ * The multi-run entry points (compareSchemes, pomImprovementOnly,
+ * and everything in sim/sweep.hh) execute their independent runs
+ * through the SweepRunner worker pool; ExperimentConfig::sweepJobs
+ * bounds the fan-out (1 = strictly serial, the default).
  */
 
 #ifndef POMTLB_SIM_EXPERIMENT_HH
 #define POMTLB_SIM_EXPERIMENT_HH
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
@@ -25,6 +32,14 @@ struct ExperimentConfig
 {
     SystemConfig system = SystemConfig::table1();
     EngineConfig engine;
+    /**
+     * Worker threads for the multi-run helpers (compareSchemes,
+     * pomImprovementOnly, SweepRunner when constructed from this
+     * config). 1 runs serially; 0 resolves to the host's hardware
+     * concurrency. defaultExperimentConfig() honours the
+     * POMTLB_SWEEP_JOBS environment variable so CI can throttle.
+     */
+    unsigned sweepJobs = 1;
 };
 
 /** Flattened summary of one (benchmark, scheme) run. */
@@ -60,42 +75,71 @@ SchemeRunSummary runScheme(const BenchmarkProfile &profile,
                            SchemeKind scheme,
                            const ExperimentConfig &config);
 
-/** One benchmark across all four schemes, with Eq. 4-5 improvements. */
-struct BenchmarkComparison
+/**
+ * Translation-cost ratio and Figure 8 improvement of one scheme
+ * relative to the baseline run of the same benchmark.
+ */
+struct SchemeDelta
 {
-    std::string benchmark;
-    SchemeRunSummary baseline;
-    SchemeRunSummary pomTlb;
-    SchemeRunSummary sharedL2;
-    SchemeRunSummary tsb;
-
-    /** Simulated translation-cost ratios vs. the baseline run. */
-    double pomCostRatio = 0.0;
-    double sharedCostRatio = 0.0;
-    double tsbCostRatio = 0.0;
-
-    /** Figure 8 improvements (%). */
-    double pomImprovementPct = 0.0;
-    double sharedImprovementPct = 0.0;
-    double tsbImprovementPct = 0.0;
+    double costRatio = 1.0;
+    double improvementPct = 0.0;
 };
 
 /**
- * Run all four schemes for @p profile and compute Figure 8's
- * improvement percentages from the paper's additive model.
+ * One benchmark across every scheme, with Eq. 4-5 improvements.
+ *
+ * Runs and deltas are keyed by SchemeKind, so figure benches iterate
+ * instead of naming each scheme; adding a fifth scheme means adding
+ * it to allSchemeKinds(), not editing every bench.
+ */
+struct BenchmarkComparison
+{
+    std::string benchmark;
+    /** One summary per scheme, in allSchemeKinds() order. */
+    std::vector<std::pair<SchemeKind, SchemeRunSummary>> runs;
+    /** Cost ratio + improvement per scheme (baseline: 1.0 / 0.0). */
+    std::map<SchemeKind, SchemeDelta> deltas;
+
+    /** Summary lookup; fatal if @p kind was not part of the run. */
+    const SchemeRunSummary &summary(SchemeKind kind) const;
+    const SchemeDelta &delta(SchemeKind kind) const;
+    const SchemeRunSummary &baseline() const
+    {
+        return summary(SchemeKind::NestedWalk);
+    }
+};
+
+/**
+ * Run every scheme in allSchemeKinds() for @p profile and compute
+ * Figure 8's improvement percentages from the paper's additive
+ * model. Fans the independent runs out over
+ * @p config.sweepJobs workers (thin wrapper over SweepRunner).
  */
 BenchmarkComparison compareSchemes(const BenchmarkProfile &profile,
                                    const ExperimentConfig &config);
 
 /**
  * POM-TLB-vs-baseline-only comparison (faster; used by sensitivity
- * and ablation benches). @p pom_config_system lets the caller tweak
- * the POM-TLB machine independently of the baseline machine.
+ * and ablation benches). Both machines are built from @p config.
  */
 double pomImprovementOnly(const BenchmarkProfile &profile,
                           const ExperimentConfig &config);
 
-/** Scale run length down for quick CI runs via an env-style factor. */
+/**
+ * Overload for ablations that vary only the POM-TLB machine:
+ * the baseline runs under @p config.system while the POM-TLB side
+ * runs under @p pom_system (same engine settings). This is what the
+ * capacity/caching benches hand-rolled before the sweep API existed.
+ */
+double pomImprovementOnly(const BenchmarkProfile &profile,
+                          const ExperimentConfig &config,
+                          const SystemConfig &pom_system);
+
+/**
+ * Default experiment configuration, honouring the environment:
+ * POMTLB_QUICK trims run lengths for smoke runs, POMTLB_SWEEP_JOBS
+ * presets the sweep fan-out.
+ */
 ExperimentConfig defaultExperimentConfig();
 
 } // namespace pomtlb

@@ -26,6 +26,30 @@ schemeKindName(SchemeKind kind)
     return "?";
 }
 
+const std::vector<SchemeKind> &
+allSchemeKinds()
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::NestedWalk, SchemeKind::PomTlb,
+        SchemeKind::SharedL2, SchemeKind::Tsb};
+    return kinds;
+}
+
+std::optional<SchemeKind>
+schemeKindFromName(const std::string &name)
+{
+    if (name == "baseline" || name == "nested" || name == "Baseline")
+        return SchemeKind::NestedWalk;
+    if (name == "pom" || name == "pom-tlb" || name == "POM-TLB")
+        return SchemeKind::PomTlb;
+    if (name == "shared" || name == "shared-l2" ||
+        name == "Shared_L2")
+        return SchemeKind::SharedL2;
+    if (name == "tsb" || name == "TSB")
+        return SchemeKind::Tsb;
+    return std::nullopt;
+}
+
 Machine::Machine(const SystemConfig &config, SchemeKind scheme_kind)
     : systemConfig(config), kind(scheme_kind)
 {
@@ -138,6 +162,20 @@ Machine::dumpStats(std::ostream &os) const
         dataHierarchy->l2d(core).stats().dump(os);
     }
     dataHierarchy->l3d().stats().dump(os);
+}
+
+void
+Machine::collectStats(
+    std::vector<std::pair<std::string, double>> &out) const
+{
+    mainMem->stats().collect(out);
+    dieStacked->stats().collect(out);
+    for (unsigned core = 0; core < systemConfig.numCores; ++core) {
+        mmus[core]->stats().collect(out);
+        dataHierarchy->l1d(core).stats().collect(out);
+        dataHierarchy->l2d(core).stats().collect(out);
+    }
+    dataHierarchy->l3d().stats().collect(out);
 }
 
 void

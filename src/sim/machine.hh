@@ -11,6 +11,8 @@
 
 #include <iosfwd>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -66,6 +68,14 @@ class Machine
 
     /** Dump every component's statistics as "name value" lines. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Collect every component's statistics as (flat-name, value)
+     * pairs — the programmatic twin of dumpStats(), used by the
+     * sweep result writer.
+     */
+    void collectStats(
+        std::vector<std::pair<std::string, double>> &out) const;
 
   private:
     SystemConfig systemConfig;

@@ -12,7 +12,9 @@
 #ifndef POMTLB_SIM_SCHEME_HH
 #define POMTLB_SIM_SCHEME_HH
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -34,6 +36,17 @@ enum class SchemeKind : std::uint8_t
 
 /** Human-readable scheme name. */
 const char *schemeKindName(SchemeKind kind);
+
+/** Every scheme the paper evaluates, in Figure 8 order. */
+const std::vector<SchemeKind> &allSchemeKinds();
+
+/**
+ * Parse a scheme name as the CLI and sweep specs accept it:
+ * "baseline"/"nested", "pom"/"pom-tlb", "shared"/"shared-l2", "tsb",
+ * or the display names schemeKindName() produces. Empty optional on
+ * anything else.
+ */
+std::optional<SchemeKind> schemeKindFromName(const std::string &name);
 
 /** What a scheme reports back for one post-L2-TLB-miss translation. */
 struct SchemeResult

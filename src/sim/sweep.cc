@@ -1,0 +1,509 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+
+namespace pomtlb
+{
+
+// ---------------------------------------------------------------
+// ExperimentRequest
+// ---------------------------------------------------------------
+
+ExperimentRequest
+ExperimentRequest::of(std::string benchmark_name,
+                      SchemeKind scheme_kind, ExperimentConfig base)
+{
+    ExperimentRequest request;
+    request.benchmark = std::move(benchmark_name);
+    request.scheme = scheme_kind;
+    request.config = std::move(base);
+    return request;
+}
+
+ExperimentRequest &
+ExperimentRequest::withLabel(std::string value)
+{
+    label = std::move(value);
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withCores(unsigned cores)
+{
+    config.system.numCores = cores;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withMode(ExecMode mode)
+{
+    config.system.mode = mode;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withRefs(std::uint64_t refs_per_core,
+                            std::uint64_t warmup_refs_per_core)
+{
+    config.engine.refsPerCore = refs_per_core;
+    config.engine.warmupRefsPerCore = warmup_refs_per_core;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withSeed(std::uint64_t seed)
+{
+    config.engine.seed = seed;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withPomCapacityMb(std::uint64_t mb)
+{
+    config.system.pomTlb.capacityBytes = mb << 20;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withSystem(const SystemConfig &system)
+{
+    config.system = system;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withEngine(const EngineConfig &engine)
+{
+    config.engine = engine;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::withComponentStats(bool enabled)
+{
+    collectComponentStats = enabled;
+    return *this;
+}
+
+ExperimentRequest &
+ExperimentRequest::tweak(
+    const std::function<void(ExperimentConfig &)> &apply)
+{
+    apply(config);
+    return *this;
+}
+
+std::string
+ExperimentRequest::key() const
+{
+    std::string result = benchmark;
+    result += '/';
+    result += schemeKindName(scheme);
+    if (!label.empty()) {
+        result += '/';
+        result += label;
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------
+// runExperiment
+// ---------------------------------------------------------------
+
+ExperimentResult
+runExperiment(const ExperimentRequest &request)
+{
+    const BenchmarkProfile *profile =
+        ProfileRegistry::find(request.benchmark);
+    if (profile == nullptr) {
+        throw std::invalid_argument("unknown benchmark '" +
+                                    request.benchmark +
+                                    "' in sweep request");
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+
+    Machine machine(request.config.system, request.scheme);
+    SimulationEngine engine(machine, *profile,
+                            request.config.engine);
+
+    ExperimentResult result;
+    result.request = request;
+    result.summary.benchmark = profile->name;
+    result.summary.scheme = request.scheme;
+    result.summary.mode = request.config.system.mode;
+    result.summary.run = engine.run();
+
+    SchemeRunSummary &summary = result.summary;
+    summary.translationCycles = summary.run.totalTranslationCycles();
+    summary.avgPenaltyPerMiss = summary.run.avgPenaltyPerMiss();
+    summary.walkFraction = summary.run.walkFraction();
+    summary.l3DataHitRate =
+        machine.hierarchy().l3d().hitRate(LineKind::Data);
+
+    if (PomTlbScheme *pom = machine.pomTlbScheme()) {
+        summary.pomL2CacheServiceRate = pom->l2CacheServiceRate();
+        summary.pomL3CacheServiceRate = pom->l3CacheServiceRate();
+        summary.pomDramServiceRate = pom->pomDramServiceRate();
+        summary.sizePredictorAccuracy = pom->sizePredictorAccuracy();
+        summary.bypassPredictorAccuracy =
+            pom->bypassPredictorAccuracy();
+        summary.dieStackedRowBufferHitRate =
+            machine.pomTlbDevice()->rowBufferHitRate();
+    }
+
+    if (request.collectComponentStats)
+        machine.collectStats(result.componentStats);
+
+    result.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+// ---------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------
+
+SweepSpec &
+SweepSpec::withBase(ExperimentConfig config)
+{
+    baseConfig = std::move(config);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::withBenchmarks(std::vector<std::string> names)
+{
+    benchmarkNames = std::move(names);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::withAllBenchmarks()
+{
+    benchmarkNames = ProfileRegistry::names();
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::withSchemes(std::vector<SchemeKind> kinds)
+{
+    schemeKinds = std::move(kinds);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::withAllSchemes()
+{
+    schemeKinds = allSchemeKinds();
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::withVariant(std::string label,
+                       std::function<void(ExperimentConfig &)> apply)
+{
+    configVariants.push_back({std::move(label), std::move(apply)});
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::withComponentStats(bool enabled)
+{
+    componentStats = enabled;
+    return *this;
+}
+
+std::size_t
+SweepSpec::jobCount() const
+{
+    const std::size_t variants =
+        configVariants.empty() ? 1 : configVariants.size();
+    return benchmarkNames.size() * schemeKinds.size() * variants;
+}
+
+std::vector<ExperimentRequest>
+SweepSpec::expand() const
+{
+    std::vector<ExperimentRequest> requests;
+    requests.reserve(jobCount());
+    for (const std::string &benchmark : benchmarkNames) {
+        for (const SchemeKind scheme : schemeKinds) {
+            if (configVariants.empty()) {
+                requests.push_back(
+                    ExperimentRequest::of(benchmark, scheme,
+                                          baseConfig)
+                        .withComponentStats(componentStats));
+                continue;
+            }
+            for (const Variant &variant : configVariants) {
+                ExperimentRequest request = ExperimentRequest::of(
+                    benchmark, scheme, baseConfig);
+                if (variant.apply)
+                    variant.apply(request.config);
+                request.withLabel(variant.label)
+                    .withComponentStats(componentStats);
+                requests.push_back(std::move(request));
+            }
+        }
+    }
+    return requests;
+}
+
+// ---------------------------------------------------------------
+// SweepRunner
+// ---------------------------------------------------------------
+
+unsigned
+SweepRunner::resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char *env = std::getenv("POMTLB_SWEEP_JOBS")) {
+        const long value = std::strtol(env, nullptr, 10);
+        if (value > 0)
+            return static_cast<unsigned>(value);
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware != 0 ? hardware : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : workerCount(resolveJobs(jobs))
+{
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<ExperimentRequest> &requests) const
+{
+    std::vector<ExperimentResult> results(requests.size());
+    if (requests.empty())
+        return results;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(workerCount, requests.size()));
+
+    if (workers <= 1) {
+        // Serial reference path: identical job code, no threads.
+        for (std::size_t i = 0; i < requests.size(); ++i)
+            results[i] = runExperiment(requests[i]);
+        return results;
+    }
+
+    // Work-stealing by atomic index: each worker claims the next
+    // unclaimed request. results[i] is written only by the claimant
+    // of i, so no locks are needed; the join is the only
+    // synchronisation point the results are read across.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(requests.size());
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= requests.size())
+                return;
+            try {
+                results[index] = runExperiment(requests[index]);
+            } catch (...) {
+                errors[index] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        pool.emplace_back(worker);
+    for (std::thread &thread : pool)
+        thread.join();
+
+    // Deterministic error reporting: rethrow the failure of the
+    // lowest-indexed request, regardless of completion order.
+    for (const std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+
+    return results;
+}
+
+// ---------------------------------------------------------------
+// SweepResultWriter
+// ---------------------------------------------------------------
+
+namespace
+{
+
+JsonValue
+summaryToJson(const SchemeRunSummary &summary)
+{
+    JsonValue object = JsonValue::object();
+    object.set("translation_cycles", summary.translationCycles);
+    object.set("avg_penalty_per_miss", summary.avgPenaltyPerMiss);
+    object.set("walk_fraction", summary.walkFraction);
+    object.set("refs", summary.run.totalRefs());
+    object.set("last_level_misses",
+               summary.run.totalLastLevelMisses());
+    object.set("page_walks", summary.run.totalPageWalks());
+    object.set("shootdowns", summary.run.totalShootdowns());
+    object.set("pom_l2_cache_service_rate",
+               summary.pomL2CacheServiceRate);
+    object.set("pom_l3_cache_service_rate",
+               summary.pomL3CacheServiceRate);
+    object.set("pom_dram_service_rate", summary.pomDramServiceRate);
+    object.set("size_predictor_accuracy",
+               summary.sizePredictorAccuracy);
+    object.set("bypass_predictor_accuracy",
+               summary.bypassPredictorAccuracy);
+    object.set("die_stacked_row_buffer_hit_rate",
+               summary.dieStackedRowBufferHitRate);
+    object.set("l3_data_hit_rate", summary.l3DataHitRate);
+    return object;
+}
+
+} // namespace
+
+JsonValue
+SweepResultWriter::toJson(const std::vector<ExperimentResult> &results)
+{
+    JsonValue runs = JsonValue::array();
+    for (const ExperimentResult &result : results) {
+        JsonValue entry = JsonValue::object();
+        entry.set("benchmark", result.request.benchmark);
+        entry.set("scheme",
+                  schemeKindName(result.request.scheme));
+        entry.set("label", result.request.label);
+        entry.set("mode",
+                  execModeName(result.request.config.system.mode));
+        entry.set("cores", std::uint64_t(
+                               result.request.config.system.numCores));
+        entry.set("pom_capacity_bytes",
+                  result.request.config.system.pomTlb.capacityBytes);
+        entry.set("refs_per_core",
+                  result.request.config.engine.refsPerCore);
+        entry.set("warmup_refs_per_core",
+                  result.request.config.engine.warmupRefsPerCore);
+        entry.set("seed", result.request.config.engine.seed);
+        entry.set("wall_seconds", result.wallSeconds);
+        entry.set("summary", summaryToJson(result.summary));
+        if (!result.componentStats.empty()) {
+            JsonValue stats = JsonValue::object();
+            for (const auto &stat : result.componentStats)
+                stats.set(stat.first, stat.second);
+            entry.set("component_stats", std::move(stats));
+        }
+        runs.push(std::move(entry));
+    }
+
+    JsonValue document = JsonValue::object();
+    document.set("schema", "pomtlb-sweep-v1");
+    document.set("runs", std::move(runs));
+    return document;
+}
+
+void
+SweepResultWriter::write(std::ostream &os,
+                         const std::vector<ExperimentResult> &results)
+{
+    toJson(results).write(os);
+    os << "\n";
+}
+
+std::vector<ExperimentResult>
+SweepResultWriter::fromJson(const JsonValue &document)
+{
+    if (!document.isObject() || !document.has("schema") ||
+        document.at("schema").asString() != "pomtlb-sweep-v1") {
+        throw std::invalid_argument(
+            "not a pomtlb-sweep-v1 document");
+    }
+
+    std::vector<ExperimentResult> results;
+    for (const JsonValue &entry : document.at("runs").elements()) {
+        ExperimentResult result;
+        result.request.benchmark = entry.at("benchmark").asString();
+        const auto scheme =
+            schemeKindFromName(entry.at("scheme").asString());
+        if (!scheme) {
+            throw std::invalid_argument(
+                "unknown scheme in sweep document: " +
+                entry.at("scheme").asString());
+        }
+        result.request.scheme = *scheme;
+        result.request.label = entry.at("label").asString();
+        result.request.config.system.mode =
+            entry.at("mode").asString() == "native"
+                ? ExecMode::Native
+                : ExecMode::Virtualized;
+        result.request.config.system.numCores =
+            static_cast<unsigned>(entry.at("cores").asUint());
+        result.request.config.system.pomTlb.capacityBytes =
+            entry.at("pom_capacity_bytes").asUint();
+        result.request.config.engine.refsPerCore =
+            entry.at("refs_per_core").asUint();
+        result.request.config.engine.warmupRefsPerCore =
+            entry.at("warmup_refs_per_core").asUint();
+        result.request.config.engine.seed =
+            entry.at("seed").asUint();
+        result.wallSeconds = entry.at("wall_seconds").asNumber();
+
+        const JsonValue &summary = entry.at("summary");
+        SchemeRunSummary &out = result.summary;
+        out.benchmark = result.request.benchmark;
+        out.scheme = result.request.scheme;
+        out.mode = result.request.config.system.mode;
+        out.translationCycles =
+            summary.at("translation_cycles").asUint();
+        // The JSON stores machine-wide totals, not the per-core
+        // breakdown; reconstruct them as one aggregate pseudo-core
+        // so RunResult's total*() accessors (and a re-serialisation)
+        // reproduce the written values.
+        CoreRunStats aggregate;
+        aggregate.refs = summary.at("refs").asUint();
+        aggregate.translationCycles = out.translationCycles;
+        aggregate.lastLevelTlbMisses =
+            summary.at("last_level_misses").asUint();
+        aggregate.pageWalks = summary.at("page_walks").asUint();
+        aggregate.shootdowns = summary.at("shootdowns").asUint();
+        out.run.cores.push_back(aggregate);
+        out.avgPenaltyPerMiss =
+            summary.at("avg_penalty_per_miss").asNumber();
+        out.walkFraction = summary.at("walk_fraction").asNumber();
+        out.pomL2CacheServiceRate =
+            summary.at("pom_l2_cache_service_rate").asNumber();
+        out.pomL3CacheServiceRate =
+            summary.at("pom_l3_cache_service_rate").asNumber();
+        out.pomDramServiceRate =
+            summary.at("pom_dram_service_rate").asNumber();
+        out.sizePredictorAccuracy =
+            summary.at("size_predictor_accuracy").asNumber();
+        out.bypassPredictorAccuracy =
+            summary.at("bypass_predictor_accuracy").asNumber();
+        out.dieStackedRowBufferHitRate =
+            summary.at("die_stacked_row_buffer_hit_rate").asNumber();
+        out.l3DataHitRate =
+            summary.at("l3_data_hit_rate").asNumber();
+
+        if (entry.has("component_stats")) {
+            for (const auto &stat :
+                 entry.at("component_stats").members()) {
+                result.componentStats.emplace_back(
+                    stat.first, stat.second.asNumber());
+            }
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace pomtlb

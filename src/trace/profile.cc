@@ -192,11 +192,19 @@ ProfileRegistry::all()
 const BenchmarkProfile &
 ProfileRegistry::byName(const std::string &name)
 {
+    if (const BenchmarkProfile *profile = find(name))
+        return *profile;
+    fatal("unknown benchmark profile '", name, "'");
+}
+
+const BenchmarkProfile *
+ProfileRegistry::find(const std::string &name)
+{
     for (const auto &profile : all()) {
         if (profile.name == name)
-            return profile;
+            return &profile;
     }
-    fatal("unknown benchmark profile '", name, "'");
+    return nullptr;
 }
 
 std::vector<std::string>

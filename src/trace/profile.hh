@@ -133,6 +133,13 @@ class ProfileRegistry
     /** Look up one profile by name (fatal if unknown). */
     static const BenchmarkProfile &byName(const std::string &name);
 
+    /**
+     * Non-fatal lookup: nullptr when @p name is unknown. Use this on
+     * paths that must report errors instead of exiting (the sweep
+     * runner propagates an exception; the CLI prints usage).
+     */
+    static const BenchmarkProfile *find(const std::string &name);
+
     /** Names, in figure order. */
     static std::vector<std::string> names();
 };

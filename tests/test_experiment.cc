@@ -52,14 +52,24 @@ TEST(Experiment, CompareSchemesProducesImprovements)
     const BenchmarkComparison comparison = compareSchemes(
         ProfileRegistry::byName("gups"), quickConfig());
     EXPECT_EQ(comparison.benchmark, "gups");
-    EXPECT_GT(comparison.pomCostRatio, 0.0);
-    EXPECT_LT(comparison.pomCostRatio, 1.0);
+    // One run + delta per scheme, in allSchemeKinds() order.
+    ASSERT_EQ(comparison.runs.size(), allSchemeKinds().size());
+    for (std::size_t i = 0; i < comparison.runs.size(); ++i)
+        EXPECT_EQ(comparison.runs[i].first, allSchemeKinds()[i]);
+    const SchemeDelta &baseline =
+        comparison.delta(SchemeKind::NestedWalk);
+    EXPECT_DOUBLE_EQ(baseline.costRatio, 1.0);
+    EXPECT_DOUBLE_EQ(baseline.improvementPct, 0.0);
+
+    const SchemeDelta &pom = comparison.delta(SchemeKind::PomTlb);
+    EXPECT_GT(pom.costRatio, 0.0);
+    EXPECT_LT(pom.costRatio, 1.0);
     // POM-TLB improves over the baseline on gups.
-    EXPECT_GT(comparison.pomImprovementPct, 0.0);
+    EXPECT_GT(pom.improvementPct, 0.0);
     // And beats the TSB by a wide margin (the paper's "order of
     // difference" observation for gups).
-    EXPECT_GT(comparison.pomImprovementPct,
-              comparison.tsbImprovementPct + 1.0);
+    EXPECT_GT(pom.improvementPct,
+              comparison.delta(SchemeKind::Tsb).improvementPct + 1.0);
 }
 
 TEST(Experiment, PomImprovementOnlyMatchesComparison)
@@ -69,7 +79,31 @@ TEST(Experiment, PomImprovementOnlyMatchesComparison)
         compareSchemes(ProfileRegistry::byName("gups"), config);
     const double only = pomImprovementOnly(
         ProfileRegistry::byName("gups"), config);
-    EXPECT_NEAR(only, comparison.pomImprovementPct, 1e-9);
+    EXPECT_NEAR(only,
+                comparison.delta(SchemeKind::PomTlb).improvementPct,
+                1e-9);
+}
+
+TEST(Experiment, PomImprovementOverloadVariesOnlyPomSide)
+{
+    // The overload with an independent POM-side SystemConfig must
+    // agree with the two-argument form when given the same system,
+    // and actually apply the override when given a different one.
+    const ExperimentConfig config = quickConfig();
+    const BenchmarkProfile &profile =
+        ProfileRegistry::byName("gups");
+
+    const double same =
+        pomImprovementOnly(profile, config, config.system);
+    EXPECT_NEAR(same, pomImprovementOnly(profile, config), 1e-12);
+
+    SystemConfig uncached = config.system;
+    uncached.pomTlb.cacheable = false;
+    const double without_caching =
+        pomImprovementOnly(profile, config, uncached);
+    // gups relies on cached POM entries; disabling data caching
+    // must change (lower) the improvement.
+    EXPECT_NE(without_caching, same);
 }
 
 TEST(Experiment, DefaultConfigRespectsQuickEnv)

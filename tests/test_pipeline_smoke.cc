@@ -114,10 +114,13 @@ TEST(PipelineSmoke, CompareFlowOrdering)
     // ratio exactly 1.
     const BenchmarkComparison comparison = compareSchemes(
         ProfileRegistry::byName("canneal"), smokeConfig());
-    EXPECT_GT(comparison.pomCostRatio, 0.0);
-    EXPECT_LT(comparison.pomCostRatio, 1.5);
-    EXPECT_GT(comparison.sharedCostRatio, 0.0);
-    EXPECT_GT(comparison.tsbCostRatio, 0.0);
+    EXPECT_DOUBLE_EQ(
+        comparison.delta(SchemeKind::NestedWalk).costRatio, 1.0);
+    const SchemeDelta &pom = comparison.delta(SchemeKind::PomTlb);
+    EXPECT_GT(pom.costRatio, 0.0);
+    EXPECT_LT(pom.costRatio, 1.5);
+    EXPECT_GT(comparison.delta(SchemeKind::SharedL2).costRatio, 0.0);
+    EXPECT_GT(comparison.delta(SchemeKind::Tsb).costRatio, 0.0);
 }
 
 } // namespace

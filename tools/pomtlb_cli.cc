@@ -7,10 +7,22 @@
  *   show-config                print the Table 1 machine parameters
  *   run                        run one benchmark under one scheme
  *   compare                    run all four schemes (a Figure 8 row)
+ *   sweep                      parallel benchmark x scheme sweep
  *   record-trace               dump a synthetic trace to a file
  *   replay-trace               drive a machine from trace files
  *
- * Common options (run / compare):
+ * sweep options:
+ *   --jobs N                   worker threads (0 = all hardware
+ *                              threads; default 0)
+ *   --benchmarks a,b,c         comma list (default: all Table 2)
+ *   --schemes x,y              comma list (default: all four)
+ *   --out FILE                 write JSON results for
+ *                              scripts/plot_results.py
+ *   --stats                    embed per-component statistics in
+ *                              the JSON output
+ *   plus the run/compare configuration options below
+ *
+ * Common options (run / compare / sweep):
  *   --benchmark NAME           workload (default mcf)
  *   --scheme KIND              baseline|pom|shared|tsb (run only)
  *   --cores N                  core count (default 8)
@@ -37,9 +49,11 @@
  *   metadata the performance model needs)
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -49,6 +63,7 @@
 #include "sim/engine.hh"
 #include "sim/machine.hh"
 #include "sim/perf_model.hh"
+#include "sim/sweep.hh"
 #include "trace/generator.hh"
 #include "trace/source.hh"
 #include "trace/trace_file.hh"
@@ -81,9 +96,15 @@ struct CliOptions
     unsigned core = 0;
     std::uint64_t count = 100000;
     std::string outPath = "trace.pomt";
+    bool outPathSet = false;
 
     // replay-trace
     std::vector<std::string> tracePaths;
+
+    // sweep
+    unsigned jobs = 0; // 0 = all hardware threads
+    std::string benchmarksList;
+    std::string schemesList;
 };
 
 [[noreturn]] void
@@ -91,7 +112,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: pomtlb <list|show-config|run|compare|record-trace|replay-trace> "
+        "usage: pomtlb <list|show-config|run|compare|sweep|"
+        "record-trace|replay-trace> "
         "[options]\n  see the header of tools/pomtlb_cli.cc or the "
         "README for the option list\n");
     std::exit(2);
@@ -159,10 +181,18 @@ parseOptions(int argc, char **argv, int first)
             options.core = static_cast<unsigned>(parseNumber(next()));
         else if (arg == "--count")
             options.count = parseNumber(next());
-        else if (arg == "--out")
+        else if (arg == "--out") {
             options.outPath = next();
+            options.outPathSet = true;
+        }
         else if (arg == "--trace")
             options.tracePaths.push_back(next());
+        else if (arg == "--jobs")
+            options.jobs = static_cast<unsigned>(parseNumber(next()));
+        else if (arg == "--benchmarks")
+            options.benchmarksList = next();
+        else if (arg == "--schemes")
+            options.schemesList = next();
         else
             usage();
     }
@@ -172,16 +202,30 @@ parseOptions(int argc, char **argv, int first)
 SchemeKind
 schemeFromName(const std::string &name)
 {
-    if (name == "baseline" || name == "nested")
-        return SchemeKind::NestedWalk;
-    if (name == "pom" || name == "pom-tlb")
-        return SchemeKind::PomTlb;
-    if (name == "shared" || name == "shared-l2")
-        return SchemeKind::SharedL2;
-    if (name == "tsb")
-        return SchemeKind::Tsb;
+    if (const auto kind = schemeKindFromName(name))
+        return *kind;
     std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
     std::exit(2);
+}
+
+/** Split a comma-separated list ("a,b,c"). */
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (const char c : text) {
+        if (c == ',') {
+            if (!current.empty())
+                parts.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        parts.push_back(current);
+    return parts;
 }
 
 ExperimentConfig
@@ -206,6 +250,8 @@ configFrom(const CliOptions &options)
     config.system.pomTlb.prefetchNextSet = options.prefetch;
     config.system.tlbAwareCaching = options.tlbAware;
     config.engine.shootdownIntervalRefs = options.shootdownInterval;
+    if (options.jobs)
+        config.sweepJobs = options.jobs;
     return config;
 }
 
@@ -328,30 +374,96 @@ commandCompare(const CliOptions &options)
 
     ResultTable table({"scheme", "cycles/miss", "cost ratio",
                        "improvement %"});
-    table.addRow({"Baseline",
-                  ResultTable::num(
-                      comparison.baseline.avgPenaltyPerMiss, 1),
-                  "1.000", "0.00"});
-    table.addRow(
-        {"POM-TLB",
-         ResultTable::num(comparison.pomTlb.avgPenaltyPerMiss, 1),
-         ResultTable::num(comparison.pomCostRatio, 3),
-         ResultTable::num(comparison.pomImprovementPct, 2)});
-    table.addRow(
-        {"Shared_L2",
-         ResultTable::num(comparison.sharedL2.avgPenaltyPerMiss, 1),
-         ResultTable::num(comparison.sharedCostRatio, 3),
-         ResultTable::num(comparison.sharedImprovementPct, 2)});
-    table.addRow(
-        {"TSB", ResultTable::num(comparison.tsb.avgPenaltyPerMiss, 1),
-         ResultTable::num(comparison.tsbCostRatio, 3),
-         ResultTable::num(comparison.tsbImprovementPct, 2)});
+    for (const auto &[kind, summary] : comparison.runs) {
+        const SchemeDelta &delta = comparison.delta(kind);
+        table.addRow(
+            {schemeKindName(kind),
+             ResultTable::num(summary.avgPenaltyPerMiss, 1),
+             ResultTable::num(delta.costRatio, 3),
+             ResultTable::num(delta.improvementPct, 2)});
+    }
 
     std::printf("benchmark: %s (ovh %s%% measured)\n\n",
                 profile.name.c_str(),
                 ResultTable::num(profile.overheadVirtualPct, 2)
                     .c_str());
     table.print(std::cout);
+    return 0;
+}
+
+int
+commandSweep(const CliOptions &options)
+{
+    SweepSpec spec;
+    spec.withBase(configFrom(options));
+
+    if (options.benchmarksList.empty() ||
+        options.benchmarksList == "all") {
+        spec.withAllBenchmarks();
+    } else {
+        const std::vector<std::string> names =
+            splitList(options.benchmarksList);
+        for (const std::string &name : names) {
+            if (ProfileRegistry::find(name) == nullptr) {
+                std::fprintf(stderr, "unknown benchmark '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+        }
+        spec.withBenchmarks(names);
+    }
+
+    if (options.schemesList.empty() || options.schemesList == "all") {
+        spec.withAllSchemes();
+    } else {
+        std::vector<SchemeKind> kinds;
+        for (const std::string &name :
+             splitList(options.schemesList))
+            kinds.push_back(schemeFromName(name));
+        spec.withSchemes(kinds);
+    }
+
+    if (options.dumpStats)
+        spec.withComponentStats();
+
+    const SweepRunner runner(options.jobs);
+    std::fprintf(stderr, "sweep: %zu jobs on %u worker thread(s)\n",
+                 spec.jobCount(), runner.jobs());
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ExperimentResult> results = runner.run(spec);
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    ResultTable table({"experiment", "cycles/miss", "walk %",
+                       "L3D$ hit %", "wall s"});
+    for (const ExperimentResult &result : results) {
+        table.addRow(
+            {result.request.key(),
+             ResultTable::num(result.summary.avgPenaltyPerMiss, 1),
+             ResultTable::num(100.0 * result.summary.walkFraction,
+                              2),
+             ResultTable::num(100.0 * result.summary.l3DataHitRate,
+                              2),
+             ResultTable::num(result.wallSeconds, 2)});
+    }
+    table.print(std::cout);
+    std::printf("\n%zu experiments in %.2f s wall (%u workers)\n",
+                results.size(), wall, runner.jobs());
+
+    if (options.outPathSet) {
+        std::ofstream out(options.outPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         options.outPath.c_str());
+            return 1;
+        }
+        SweepResultWriter::write(out, results);
+        std::printf("wrote JSON results to %s\n",
+                    options.outPath.c_str());
+    }
     return 0;
 }
 
@@ -428,6 +540,8 @@ main(int argc, char **argv)
         return commandRun(options);
     if (command == "compare")
         return commandCompare(options);
+    if (command == "sweep")
+        return commandSweep(options);
     if (command == "record-trace")
         return commandRecordTrace(options);
     if (command == "replay-trace")
