@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 8 companion — where the translation cycles go, per scheme.
+ *
+ * For every (benchmark, scheme) pair this bench splits the measured
+ * post-L1 translation cycles across the serving levels the
+ * observability layer tracks (SchemeRunSummary::cycleBreakdown): the
+ * private SRAM TLBs, the POM-TLB's L2D/L3D cached set lines, the
+ * die-stacked DRAM array, the Shared_L2 SRAM structure, the TSB
+ * buffer, and the page-walk fallback. Each cell is the percentage of
+ * that run's total translation cycles, so rows sum to ~100.
+ *
+ * Expected shape (paper Section 5): under POM-TLB the page-walk share
+ * collapses to near zero and most cycles are served from the cached
+ * set lines; the baseline is 100% walk cycles by construction; TSB
+ * splits between buffer hits and walks.
+ *
+ * The same decomposition is available as the `cycle_breakdown` object
+ * of `pomtlb-stats-v1` (`pomtlb run --stats`) and of each
+ * `pomtlb-sweep-v1` run; `scripts/plot_results.py --breakdown` draws
+ * it as the stacked bars of Figure 8's cost model.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace pomtlb;
+using namespace pomtlb::bench;
+
+/**
+ * The scheme-side service points a summary row reports, in stack
+ * order. SramL1/SramL2 are excluded: the MMU's exact split reports
+ * their share as one "sram_tlb" column.
+ */
+const std::vector<ServicePoint> &
+reportedPoints()
+{
+    static const std::vector<ServicePoint> points = {
+        ServicePoint::CacheL2D,  ServicePoint::CacheL3D,
+        ServicePoint::PomDram,   ServicePoint::SharedTlb,
+        ServicePoint::TsbBuffer, ServicePoint::PageWalk};
+    return points;
+}
+
+void
+runBreakdown(::benchmark::State &state,
+             const BenchmarkProfile &profile)
+{
+    const ExperimentConfig config = figureConfig();
+    for (auto _ : state) {
+        const BenchmarkComparison comparison =
+            compareSchemes(profile, config);
+        for (const auto &[kind, summary] : comparison.runs) {
+            const double total = summary.translationCycles
+                                     ? static_cast<double>(
+                                           summary.translationCycles)
+                                     : 1.0;
+            std::vector<std::pair<std::string, double>> row;
+            row.emplace_back("sram_tlb %",
+                             100.0 * summary.sramCycles / total);
+            for (const ServicePoint point : reportedPoints()) {
+                double cycles = 0.0;
+                for (const auto &[at, value] :
+                     summary.cycleBreakdown) {
+                    if (at == point)
+                        cycles = static_cast<double>(value);
+                }
+                row.emplace_back(
+                    std::string(servicePointName(point)) + " %",
+                    100.0 * cycles / total);
+            }
+            collector().record(profile.name + "/" +
+                                   schemeKindName(kind),
+                               std::move(row));
+        }
+        state.counters["schemes"] =
+            static_cast<double>(comparison.runs.size());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pomtlb::bench::registerPerWorkload("fig08brk", runBreakdown);
+    return pomtlb::bench::benchMain(
+        argc, argv, "Figure 8 (cycle breakdown)",
+        "Translation-cycle share per serving level, % of each run's "
+        "total translation cycles", 1);
+}

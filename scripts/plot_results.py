@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Plot the figure benches' CSV output or a sweep's JSON output.
+"""Plot the figure benches' CSV output or the simulator's JSON output.
 
 Usage:
     POMTLB_CSV=1 build/bench/bench_fig08_performance > fig08.txt
@@ -8,20 +8,37 @@ Usage:
     build/tools/pomtlb sweep --jobs 8 --out sweep.json
     scripts/plot_results.py sweep.json -o sweep.png \\
         --metric walk_fraction
+    scripts/plot_results.py sweep.json -o breakdown.png --breakdown
 
-Two input formats are accepted and auto-detected:
+    build/tools/pomtlb run --stats-out run.json
+    scripts/plot_results.py run.json -o breakdown.png --breakdown
+
+Three input formats are accepted and auto-detected:
 
 * the ``[csv]`` block a bench emits under POMTLB_CSV=1 (the aligned
-  table is for humans; the CSV block is for this script), and
+  table is for humans; the CSV block is for this script);
 * the ``pomtlb-sweep-v1`` JSON document ``SweepResultWriter`` emits
   (``pomtlb sweep --out``), from which ``--metric`` picks one summary
-  field per run; runs become rows keyed by benchmark, with one series
-  per scheme (and variant label, if any).
+  field per run; and
+* the ``pomtlb-stats-v1`` JSON document of a single run
+  (``pomtlb run --stats-out``), usable with ``--breakdown``.
 
-Either way the result is a grouped bar chart in the paper's figure
+The default output is a grouped bar chart in the paper's figure
 style: benchmarks on the x-axis, one bar group per series.
+``--breakdown`` instead draws the stacked translation-cycle
+decomposition of Figure 8's cost model: one stacked bar per
+(benchmark, scheme) run, one segment per serving level, normalised to
+each run's total translation cycles. Every stat and field this script
+reads is documented in docs/metrics.md.
 
-Requires matplotlib (not needed for anything else in the repo).
+Unknown *versions* of a known schema family (e.g. a future
+``pomtlb-sweep-v2``) produce a warning and a best-effort parse;
+missing required fields are hard errors naming the field. Run
+``scripts/plot_results.py --selftest`` to execute the built-in parser
+tests (no matplotlib needed; CI runs this as a ctest).
+
+Requires matplotlib for plotting (not needed for anything else in the
+repo, nor for --selftest).
 """
 
 import argparse
@@ -30,30 +47,129 @@ import io
 import json
 import sys
 
+SWEEP_SCHEMA = "pomtlb-sweep-v1"
+STATS_SCHEMA = "pomtlb-stats-v1"
 
-def sweep_rows(
-    document: dict, metric: str
-) -> list[dict[str, str]]:
-    """Flatten a pomtlb-sweep-v1 document into CSV-style rows.
+#: Stacked-segment order for --breakdown, matching the ServicePoint
+#: order of sim/scheme.hh ("sram_tlb" is the MMUs' aggregate share).
+BREAKDOWN_ORDER = [
+    "sram_tlb",
+    "pom_l2d_cache",
+    "pom_l3d_cache",
+    "pom_dram",
+    "shared_l2_tlb",
+    "tsb_buffer",
+    "page_walk",
+]
+
+
+class ParseError(ValueError):
+    """A document is structurally unusable (missing required field)."""
+
+
+def _require(mapping, key, context):
+    """Return ``mapping[key]`` or raise ParseError naming the field."""
+    if not isinstance(mapping, dict) or key not in mapping:
+        raise ParseError(f"missing required field '{context}{key}'")
+    return mapping[key]
+
+
+def _check_schema(document):
+    """Validate the schema tag; returns the schema *family*.
+
+    Exact known schemas pass silently. An unknown version of a known
+    family ("pomtlb-sweep-v*", "pomtlb-stats-v*") warns on stderr and
+    parses best-effort. Anything else is a ParseError.
+    """
+    schema = _require(document, "schema", "")
+    for known in (SWEEP_SCHEMA, STATS_SCHEMA):
+        family = known.rsplit("-v", 1)[0]
+        if schema == known:
+            return family
+        if isinstance(schema, str) and schema.startswith(
+            family + "-v"
+        ):
+            print(
+                f"warning: unrecognised schema version {schema!r}; "
+                f"parsing as {known}",
+                file=sys.stderr,
+            )
+            return family
+    raise ParseError(f"unrecognised JSON schema: {schema!r}")
+
+
+def parse_document(document):
+    """Parse a sweep or stats document into a normalised run list.
+
+    Returns a list of run dicts with keys ``benchmark``, ``scheme``,
+    ``label``, ``summary`` (the metric mapping ``--metric`` indexes),
+    ``wall_seconds`` (None for stats documents) and
+    ``cycle_breakdown`` (mapping with the serving-level cycles plus
+    ``sram_tlb``, or None when the document predates it).
+
+    Raises ParseError on missing required fields; warns (stderr) on
+    unknown versions of a known schema family.
+    """
+    family = _check_schema(document)
+
+    if family == "pomtlb-stats":
+        totals = _require(document, "totals", "")
+        runs = [
+            {
+                "benchmark": _require(document, "benchmark", ""),
+                "scheme": _require(document, "scheme", ""),
+                "label": "",
+                "summary": totals,
+                "wall_seconds": None,
+                "cycle_breakdown": document.get("cycle_breakdown"),
+            }
+        ]
+        _require(totals, "translation_cycles", "totals.")
+        return runs
+
+    runs = []
+    for index, run in enumerate(_require(document, "runs", "")):
+        context = f"runs[{index}]."
+        summary = _require(run, "summary", context)
+        _require(
+            summary, "translation_cycles", context + "summary."
+        )
+        breakdown = summary.get("cycle_breakdown")
+        if breakdown is not None:
+            breakdown = dict(breakdown)
+            breakdown.setdefault(
+                "sram_tlb", summary.get("sram_cycles", 0)
+            )
+        runs.append(
+            {
+                "benchmark": _require(run, "benchmark", context),
+                "scheme": _require(run, "scheme", context),
+                "label": run.get("label", ""),
+                "summary": summary,
+                "wall_seconds": run.get("wall_seconds"),
+                "cycle_breakdown": breakdown,
+            }
+        )
+    return runs
+
+
+def sweep_rows(document, metric):
+    """Flatten a parsed document into CSV-style rows.
 
     One row per benchmark; one column per scheme[/label] holding the
     requested summary *metric* (or ``wall_seconds``).
     """
-    if document.get("schema") != "pomtlb-sweep-v1":
-        raise SystemExit(
-            "unrecognised JSON schema: expected pomtlb-sweep-v1"
-        )
-    table: dict[str, dict[str, str]] = {}
-    for run in document.get("runs", []):
+    table = {}
+    for run in parse_document(document):
         series = run["scheme"]
-        if run.get("label"):
+        if run["label"]:
             series += "/" + run["label"]
         if metric == "wall_seconds":
             value = run["wall_seconds"]
         else:
             summary = run["summary"]
             if metric not in summary:
-                raise SystemExit(
+                raise ParseError(
                     f"metric {metric!r} not in summary; available: "
                     + ", ".join(sorted(summary))
                 )
@@ -65,7 +181,38 @@ def sweep_rows(
     return list(table.values())
 
 
-def extract_csv(text: str) -> list[dict[str, str]]:
+def breakdown_rows(document):
+    """Per-run translation-cycle shares for the stacked plot.
+
+    Returns ``(labels, series)``: one label per run
+    ("benchmark/scheme[/label]") and, for every serving level in
+    BREAKDOWN_ORDER, that run's share of its own total translation
+    cycles (each label's shares sum to ~1.0).
+    """
+    labels = []
+    series = {key: [] for key in BREAKDOWN_ORDER}
+    for run in parse_document(document):
+        breakdown = run["cycle_breakdown"]
+        if breakdown is None:
+            raise ParseError(
+                "document has no cycle_breakdown (produced by a "
+                "pre-observability build?)"
+            )
+        label = f"{run['benchmark']}/{run['scheme']}"
+        if run["label"]:
+            label += "/" + run["label"]
+        labels.append(label)
+        total = float(
+            run["summary"]["translation_cycles"]
+        ) or 1.0
+        for key in BREAKDOWN_ORDER:
+            series[key].append(
+                float(breakdown.get(key, 0.0)) / total
+            )
+    return labels, series
+
+
+def extract_csv(text):
     """Return the rows of the first [csv] block in *text*."""
     marker = "[csv]"
     start = text.find(marker)
@@ -80,37 +227,21 @@ def extract_csv(text: str) -> list[dict[str, str]]:
     return list(reader)
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "input",
-        help="bench output file (with [csv]) or sweep JSON",
-    )
-    parser.add_argument("-o", "--output", default="figure.png")
-    parser.add_argument("--title", default=None)
-    parser.add_argument(
-        "--drop-average",
-        action="store_true",
-        help="omit the summary 'average' row",
-    )
-    parser.add_argument(
-        "--metric",
-        default="translation_cycles",
-        help="summary field to plot from sweep JSON input "
-        "(default: translation_cycles; 'wall_seconds' plots the "
-        "per-run wall clock)",
-    )
-    args = parser.parse_args()
+def _load_pyplot():
+    try:
+        import matplotlib
 
-    with open(args.input, encoding="utf-8") as handle:
-        text = handle.read()
-    if text.lstrip().startswith("{"):
-        rows = sweep_rows(json.loads(text), args.metric)
-    else:
-        rows = extract_csv(text)
-    if not rows:
-        raise SystemExit("no rows found in input")
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit(
+            "matplotlib is required: pip install matplotlib"
+        )
+    return plt
 
+
+def plot_grouped(rows, args):
+    """Grouped bar chart: one group per row, one bar per series."""
     label_key = next(iter(rows[0]))
     value_keys = [k for k in rows[0] if k != label_key]
     if args.drop_average:
@@ -121,16 +252,7 @@ def main() -> int:
         key: [float(r[key]) for r in rows] for key in value_keys
     }
 
-    try:
-        import matplotlib
-
-        matplotlib.use("Agg")
-        import matplotlib.pyplot as plt
-    except ImportError:
-        raise SystemExit(
-            "matplotlib is required: pip install matplotlib"
-        )
-
+    plt = _load_pyplot()
     _, axis = plt.subplots(
         figsize=(max(8.0, 0.7 * len(labels)), 4.0)
     )
@@ -153,6 +275,217 @@ def main() -> int:
     plt.tight_layout()
     plt.savefig(args.output, dpi=150)
     print(f"wrote {args.output}")
+
+
+def plot_breakdown(labels, series, args):
+    """Stacked bars: translation-cycle share per serving level."""
+    plt = _load_pyplot()
+    _, axis = plt.subplots(
+        figsize=(max(8.0, 0.6 * len(labels)), 4.5)
+    )
+    bottoms = [0.0] * len(labels)
+    positions = list(range(len(labels)))
+    for key in BREAKDOWN_ORDER:
+        values = series[key]
+        if not any(values):
+            continue
+        axis.bar(
+            positions, values, bottom=bottoms, width=0.7, label=key
+        )
+        bottoms = [b + v for b, v in zip(bottoms, values)]
+    axis.set_xticks(positions)
+    axis.set_xticklabels(labels, rotation=45, ha="right")
+    axis.set_ylabel("share of translation cycles")
+    axis.set_ylim(0.0, 1.05)
+    axis.legend(fontsize=8)
+    axis.grid(axis="y", linewidth=0.3)
+    if args.title:
+        axis.set_title(args.title)
+    plt.tight_layout()
+    plt.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+
+
+def selftest():
+    """Built-in parser tests (run by ctest; no matplotlib needed)."""
+    import contextlib
+    import unittest
+
+    def sweep_doc(**summary_overrides):
+        summary = {
+            "translation_cycles": 1000,
+            "sram_cycles": 400,
+            "scheme_cycles": 600,
+            "cycle_breakdown": {"pom_dram": 350, "page_walk": 250},
+            "walk_fraction": 0.25,
+        }
+        summary.update(summary_overrides)
+        return {
+            "schema": SWEEP_SCHEMA,
+            "runs": [
+                {
+                    "benchmark": "mcf",
+                    "scheme": "POM-TLB",
+                    "label": "",
+                    "wall_seconds": 1.5,
+                    "summary": summary,
+                }
+            ],
+        }
+
+    class ParserTests(unittest.TestCase):
+        def test_missing_schema_errors(self):
+            with self.assertRaisesRegex(ParseError, "schema"):
+                parse_document({"runs": []})
+
+        def test_foreign_schema_errors(self):
+            with self.assertRaisesRegex(
+                ParseError, "unrecognised"
+            ):
+                parse_document({"schema": "other-tool-v1"})
+
+        def test_future_version_warns_but_parses(self):
+            document = sweep_doc()
+            document["schema"] = "pomtlb-sweep-v99"
+            stderr = io.StringIO()
+            with contextlib.redirect_stderr(stderr):
+                runs = parse_document(document)
+            self.assertIn("pomtlb-sweep-v99", stderr.getvalue())
+            self.assertEqual(len(runs), 1)
+
+        def test_missing_required_field_errors(self):
+            document = sweep_doc()
+            del document["runs"][0]["summary"][
+                "translation_cycles"
+            ]
+            with self.assertRaisesRegex(
+                ParseError, r"runs\[0\].summary.translation_cycles"
+            ):
+                parse_document(document)
+
+        def test_missing_benchmark_errors(self):
+            document = sweep_doc()
+            del document["runs"][0]["benchmark"]
+            with self.assertRaisesRegex(
+                ParseError, r"runs\[0\].benchmark"
+            ):
+                parse_document(document)
+
+        def test_sweep_rows_picks_metric(self):
+            rows = sweep_rows(sweep_doc(), "walk_fraction")
+            self.assertEqual(rows[0]["POM-TLB"], "0.25")
+
+        def test_sweep_rows_unknown_metric_errors(self):
+            with self.assertRaisesRegex(ParseError, "nope"):
+                sweep_rows(sweep_doc(), "nope")
+
+        def test_breakdown_shares_sum_to_one(self):
+            labels, series = breakdown_rows(sweep_doc())
+            self.assertEqual(labels, ["mcf/POM-TLB"])
+            total = sum(
+                series[key][0] for key in BREAKDOWN_ORDER
+            )
+            self.assertAlmostEqual(total, 1.0)
+            self.assertAlmostEqual(series["sram_tlb"][0], 0.4)
+
+        def test_breakdown_missing_errors(self):
+            document = sweep_doc()
+            del document["runs"][0]["summary"]["cycle_breakdown"]
+            with self.assertRaisesRegex(
+                ParseError, "cycle_breakdown"
+            ):
+                breakdown_rows(document)
+
+        def test_stats_document(self):
+            document = {
+                "schema": STATS_SCHEMA,
+                "benchmark": "gups",
+                "scheme": "TSB",
+                "totals": {"translation_cycles": 10},
+                "cycle_breakdown": {
+                    "sram_tlb": 4,
+                    "tsb_buffer": 6,
+                },
+            }
+            labels, series = breakdown_rows(document)
+            self.assertEqual(labels, ["gups/TSB"])
+            self.assertAlmostEqual(
+                series["tsb_buffer"][0], 0.6
+            )
+
+        def test_stats_document_missing_totals_errors(self):
+            with self.assertRaisesRegex(ParseError, "totals"):
+                parse_document(
+                    {
+                        "schema": STATS_SCHEMA,
+                        "benchmark": "gups",
+                        "scheme": "TSB",
+                    }
+                )
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(
+        ParserTests
+    )
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "input",
+        nargs="?",
+        help="bench output file (with [csv]) or simulator JSON",
+    )
+    parser.add_argument("-o", "--output", default="figure.png")
+    parser.add_argument("--title", default=None)
+    parser.add_argument(
+        "--drop-average",
+        action="store_true",
+        help="omit the summary 'average' row",
+    )
+    parser.add_argument(
+        "--metric",
+        default="translation_cycles",
+        help="summary field to plot from sweep JSON input "
+        "(default: translation_cycles; 'wall_seconds' plots the "
+        "per-run wall clock)",
+    )
+    parser.add_argument(
+        "--breakdown",
+        action="store_true",
+        help="stacked translation-cycle breakdown per run "
+        "(JSON input only)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the built-in parser tests and exit",
+    )
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if args.input is None:
+        parser.error("an input file is required unless --selftest")
+
+    with open(args.input, encoding="utf-8") as handle:
+        text = handle.read()
+
+    try:
+        if args.breakdown:
+            labels, series = breakdown_rows(json.loads(text))
+            plot_breakdown(labels, series, args)
+            return 0
+        if text.lstrip().startswith("{"):
+            rows = sweep_rows(json.loads(text), args.metric)
+        else:
+            rows = extract_csv(text)
+    except ParseError as error:
+        raise SystemExit(f"error: {error}")
+    if not rows:
+        raise SystemExit("no rows found in input")
+    plot_grouped(rows, args)
     return 0
 
 

@@ -7,8 +7,13 @@ namespace pomtlb
 
 NestedWalkScheme::NestedWalkScheme(
     std::vector<std::unique_ptr<PageWalker>> &walkers)
-    : pageWalkers(walkers)
+    : pageWalkers(walkers), statGroup("scheme")
 {
+    statGroup.addCounter("walks", walks);
+    statGroup.addCounter("walk_cycles", walkCyclesTotal);
+    statGroup.addAverage("avg_walk_cycles", walkCycles);
+    statGroup.addAverage("avg_walk_refs", walkRefs);
+    statGroup.addHistogram("walk_cycle_hist", walkCycleHist);
 }
 
 SchemeResult
@@ -20,14 +25,25 @@ NestedWalkScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
         pageWalkers[core]->walk(vaddr, vm, pid, size, now);
 
     ++walks;
+    walkCyclesTotal += walk.cycles;
     walkCycles.sample(static_cast<double>(walk.cycles));
     walkRefs.sample(static_cast<double>(walk.memRefs));
+    if (StatsRegistry::detail())
+        walkCycleHist.sample(walk.cycles);
 
     SchemeResult result;
     result.cycles = walk.cycles;
     result.pfn = walk.hostPfn;
     result.walked = true;
+    result.servedBy = ServicePoint::PageWalk;
+    result.probes = 1;
     return result;
+}
+
+std::vector<std::pair<ServicePoint, std::uint64_t>>
+NestedWalkScheme::cycleBreakdown() const
+{
+    return {{ServicePoint::PageWalk, walkCyclesTotal.value()}};
 }
 
 void
@@ -41,8 +57,10 @@ void
 NestedWalkScheme::resetStats()
 {
     walks.reset();
+    walkCyclesTotal.reset();
     walkCycles.reset();
     walkRefs.reset();
+    walkCycleHist.reset();
 }
 
 } // namespace pomtlb

@@ -35,15 +35,28 @@ class NestedWalkScheme : public TranslationScheme
     void invalidateVm(VmId vm) override;
     void resetStats() override;
 
+    const StatGroup *statistics() const override
+    {
+        return &statGroup;
+    }
+    std::vector<std::pair<ServicePoint, std::uint64_t>>
+    cycleBreakdown() const override;
+
+    /** Walks performed since the last stats reset. */
     std::uint64_t walkCount() const { return walks.value(); }
+    /** Mean cycles per walk. */
     double avgWalkCycles() const { return walkCycles.mean(); }
+    /** Mean PTE memory references per walk. */
     double avgWalkRefs() const { return walkRefs.mean(); }
 
   private:
     std::vector<std::unique_ptr<PageWalker>> &pageWalkers;
     Counter walks;
+    Counter walkCyclesTotal;
     Average walkCycles;
     Average walkRefs;
+    Log2Histogram walkCycleHist;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

@@ -10,8 +10,17 @@ SharedL2Scheme::SharedL2Scheme(
     std::vector<std::unique_ptr<PageWalker>> &walkers)
     : sharedTlb(std::make_unique<SetAssocTlb>(config)),
       sharedLatency(config.accessLatency),
-      pageWalkers(walkers)
+      pageWalkers(walkers),
+      statGroup("scheme")
 {
+    statGroup.addCounter("walks", walks);
+    statGroup.addCounter("shared_hit_cycles", sharedHitCycles);
+    statGroup.addCounter("walk_path_cycles", walkPathCycles);
+    statGroup.addAverage("avg_miss_cycles", missCycles);
+    statGroup.addDerived("shared_hit_rate",
+                         [this] { return sharedHitRate(); });
+    statGroup.addHistogram("miss_cycle_hist", missCycleHist);
+    statGroup.addChild(sharedTlb->stats());
 }
 
 SchemeResult
@@ -26,7 +35,12 @@ SharedL2Scheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
     const TlbLookupResult hit = sharedTlb->lookup(vpn, size, vm, pid);
     if (hit.hit) {
         result.pfn = hit.pfn;
+        result.servedBy = ServicePoint::SharedTlb;
+        result.probes = 1;
+        sharedHitCycles += result.cycles;
         missCycles.sample(static_cast<double>(result.cycles));
+        if (StatsRegistry::detail())
+            missCycleHist.sample(result.cycles);
         return result;
     }
 
@@ -35,11 +49,24 @@ SharedL2Scheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
     result.cycles += walk.cycles;
     result.pfn = walk.hostPfn;
     result.walked = true;
+    result.servedBy = ServicePoint::PageWalk;
+    result.probes = 2;
+    result.firstTryServed = false;
     ++walks;
+    walkPathCycles += result.cycles;
 
     sharedTlb->insert(vpn, size, vm, pid, walk.hostPfn);
     missCycles.sample(static_cast<double>(result.cycles));
+    if (StatsRegistry::detail())
+        missCycleHist.sample(result.cycles);
     return result;
+}
+
+std::vector<std::pair<ServicePoint, std::uint64_t>>
+SharedL2Scheme::cycleBreakdown() const
+{
+    return {{ServicePoint::SharedTlb, sharedHitCycles.value()},
+            {ServicePoint::PageWalk, walkPathCycles.value()}};
 }
 
 void
@@ -62,7 +89,10 @@ SharedL2Scheme::resetStats()
 {
     sharedTlb->resetStats();
     walks.reset();
+    sharedHitCycles.reset();
+    walkPathCycles.reset();
     missCycles.reset();
+    missCycleHist.reset();
 }
 
 } // namespace pomtlb

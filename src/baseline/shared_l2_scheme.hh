@@ -52,9 +52,20 @@ class SharedL2Scheme : public TranslationScheme
     void invalidateVm(VmId vm) override;
     void resetStats() override;
 
+    const StatGroup *statistics() const override
+    {
+        return &statGroup;
+    }
+    std::vector<std::pair<ServicePoint, std::uint64_t>>
+    cycleBreakdown() const override;
+
+    /** Hit rate of the shared SRAM structure. */
     double sharedHitRate() const { return sharedTlb->hitRate(); }
+    /** Walks performed (shared-TLB misses) since the stats reset. */
     std::uint64_t walkCount() const { return walks.value(); }
+    /** Mean scheme cycles per request. */
     double avgMissCycles() const { return missCycles.mean(); }
+    /** The shared SRAM structure itself. */
     const SetAssocTlb &tlb() const { return *sharedTlb; }
 
   private:
@@ -62,7 +73,13 @@ class SharedL2Scheme : public TranslationScheme
     Cycles sharedLatency;
     std::vector<std::unique_ptr<PageWalker>> &pageWalkers;
     Counter walks;
+    /** Cycles of requests the shared TLB served. */
+    Counter sharedHitCycles;
+    /** Cycles of requests that fell through to a page walk. */
+    Counter walkPathCycles;
     Average missCycles;
+    Log2Histogram missCycleHist;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

@@ -12,8 +12,18 @@ TsbScheme::TsbScheme(const TsbConfig &config, Addr base_addr,
     : tsbConfig(config),
       baseAddr(base_addr),
       dataHierarchy(hierarchy),
-      pageWalkers(walkers)
+      pageWalkers(walkers),
+      statGroup("scheme")
 {
+    statGroup.addCounter("hits", hits);
+    statGroup.addCounter("misses", misses);
+    statGroup.addCounter("walks", walks);
+    statGroup.addCounter("tsb_hit_cycles", tsbHitCycles);
+    statGroup.addCounter("walk_path_cycles", walkPathCycles);
+    statGroup.addAverage("avg_miss_cycles", missCycles);
+    statGroup.addDerived("tsb_hit_rate", [this] { return tsbHitRate(); });
+    statGroup.addHistogram("miss_cycle_hist", missCycleHist);
+
     tsbConfig.validate();
     const std::uint64_t total_entries =
         config.capacityBytes / config.entryBytes;
@@ -65,6 +75,7 @@ TsbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
             core, slotAddr(stage, index), AccessType::Read,
             now + result.cycles);
         result.cycles += load.latency;
+        ++result.probes;
 
         const TlbEntry &entry = stages[stage][index];
         if (!entry.matches(vpn, vm, pid, size)) {
@@ -79,7 +90,11 @@ TsbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
     if (all_match) {
         ++hits;
         result.pfn = pfn;
+        result.servedBy = ServicePoint::TsbBuffer;
+        tsbHitCycles += result.cycles;
         missCycles.sample(static_cast<double>(result.cycles));
+        if (StatsRegistry::detail())
+            missCycleHist.sample(result.cycles);
         return result;
     }
 
@@ -89,6 +104,9 @@ TsbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
     result.cycles += walk.cycles;
     result.pfn = walk.hostPfn;
     result.walked = true;
+    result.servedBy = ServicePoint::PageWalk;
+    ++result.probes;
+    result.firstTryServed = false;
     ++walks;
 
     // The handler refills the buffer (direct-mapped overwrite); the
@@ -106,8 +124,18 @@ TsbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
                                  now + result.cycles);
     }
 
+    walkPathCycles += result.cycles;
     missCycles.sample(static_cast<double>(result.cycles));
+    if (StatsRegistry::detail())
+        missCycleHist.sample(result.cycles);
     return result;
+}
+
+std::vector<std::pair<ServicePoint, std::uint64_t>>
+TsbScheme::cycleBreakdown() const
+{
+    return {{ServicePoint::TsbBuffer, tsbHitCycles.value()},
+            {ServicePoint::PageWalk, walkPathCycles.value()}};
 }
 
 void
@@ -159,7 +187,10 @@ TsbScheme::resetStats()
     hits.reset();
     misses.reset();
     walks.reset();
+    tsbHitCycles.reset();
+    walkPathCycles.reset();
     missCycles.reset();
+    missCycleHist.reset();
 }
 
 double

@@ -57,8 +57,18 @@ class TsbScheme : public TranslationScheme
     void invalidateVm(VmId vm) override;
     void resetStats() override;
 
+    const StatGroup *statistics() const override
+    {
+        return &statGroup;
+    }
+    std::vector<std::pair<ServicePoint, std::uint64_t>>
+    cycleBreakdown() const override;
+
+    /** Fraction of requests the buffer completed without a walk. */
     double tsbHitRate() const;
+    /** Walks performed (buffer misses) since the stats reset. */
     std::uint64_t walkCount() const { return walks.value(); }
+    /** Mean scheme cycles per request. */
     double avgMissCycles() const { return missCycles.mean(); }
 
   private:
@@ -84,7 +94,13 @@ class TsbScheme : public TranslationScheme
     Counter hits;
     Counter misses;
     Counter walks;
+    /** Cycles of requests the buffer itself completed. */
+    Counter tsbHitCycles;
+    /** Cycles of requests that fell through to a page walk. */
+    Counter walkPathCycles;
     Average missCycles;
+    Log2Histogram missCycleHist;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

@@ -5,10 +5,11 @@ namespace pomtlb
 
 DramCache::DramCache(std::uint64_t capacity_bytes, unsigned line_bytes,
                      DramController &channel, Cycles tag_latency)
-    : dram(channel), tagCheckLatency(tag_latency)
+    : dram(channel), tagCheckLatency(tag_latency),
+      statGroup("l4_dram_cache")
 {
     CacheConfig config;
-    config.name = "l4_dram_cache";
+    config.name = "tags";
     config.sizeBytes = capacity_bytes;
     // A wide, DRAM-friendly associativity; 16 ways keeps the sets a
     // power of two at the capacities of interest.
@@ -16,6 +17,11 @@ DramCache::DramCache(std::uint64_t capacity_bytes, unsigned line_bytes,
     config.lineBytes = line_bytes;
     config.accessLatency = tag_latency;
     tags = std::make_unique<SetAssocCache>(config);
+
+    statGroup.addCounter("hits", hitCount);
+    statGroup.addCounter("misses", missCount);
+    statGroup.addDerived("hit_rate", [this] { return hitRate(); });
+    statGroup.addChild(tags->stats());
 }
 
 DramCacheResult

@@ -57,11 +57,19 @@ class DramCache
      */
     DramCacheResult access(Addr addr, AccessType type, Cycles now);
 
+    /** Fraction of accesses that hit (0 when no accesses happened). */
     double hitRate() const;
+    /** Accesses that hit since the stats reset. */
     std::uint64_t hits() const { return hitCount.value(); }
+    /** Accesses that missed since the stats reset. */
     std::uint64_t misses() const { return missCount.value(); }
+    /** SRAM tag-cache check cost (core cycles). */
     Cycles tagLatency() const { return tagCheckLatency; }
 
+    /** This cache's statistics group ("l4_dram_cache"). */
+    const StatGroup &stats() const { return statGroup; }
+
+    /** Zero the hit/miss counters and the tag array's statistics. */
     void resetStats();
 
   private:
@@ -70,6 +78,7 @@ class DramCache
     Cycles tagCheckLatency;
     Counter hitCount;
     Counter missCount;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

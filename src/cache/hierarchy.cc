@@ -50,6 +50,12 @@ DataHierarchy::DataHierarchy(const SystemConfig &config,
     l3Cache = std::make_unique<SetAssocCache>(config.l3);
     if (config.tlbAwareCaching)
         l3Cache->setTlbLinePolicy(TlbLinePolicy::RetainTlb);
+
+    statGroup.addCounter("dram_writebacks", dramWritebacks);
+    statGroup.addDerived("l2_tlb_probe_hit_rate",
+                         [this] { return l2TlbProbeHitRate(); });
+    statGroup.addDerived("l3_tlb_probe_hit_rate",
+                         [this] { return l3TlbProbeHitRate(); });
 }
 
 HierarchyAccessResult
@@ -236,6 +242,7 @@ DataHierarchy::resetStats()
     for (auto &cache : l2Caches)
         cache->resetStats();
     l3Cache->resetStats();
+    dramWritebacks.reset();
 }
 
 } // namespace pomtlb

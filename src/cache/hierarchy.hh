@@ -119,6 +119,10 @@ class DataHierarchy
     /** L3D TLB-probe hit rate (of probes that missed in L2D). */
     double l3TlbProbeHitRate() const;
 
+    /** Hierarchy-level statistics (writebacks, probe hit rates). */
+    const StatGroup &stats() const { return statGroup; }
+
+    /** Zero every cache's and the hierarchy's own statistics. */
     void resetStats();
 
   private:
@@ -133,6 +137,7 @@ class DataHierarchy
     std::unique_ptr<DramCache> l4;
     bool writebackTraffic;
     Counter dramWritebacks;
+    StatGroup statGroup{"hierarchy"};
     std::vector<std::unique_ptr<SetAssocCache>> l1Caches;
     std::vector<std::unique_ptr<SetAssocCache>> l2Caches;
     std::unique_ptr<SetAssocCache> l3Cache;

@@ -21,44 +21,48 @@ namespace pomtlb
 /** Geometry and latency of one set-associative SRAM cache level. */
 struct CacheConfig
 {
-    std::string name = "cache";
-    std::uint64_t sizeBytes = 32 * 1024;
-    unsigned associativity = 8;
-    unsigned lineBytes = 64;
-    Cycles accessLatency = 4;
+    std::string name = "cache";     /**< Stat-group / log name. */
+    std::uint64_t sizeBytes = 32 * 1024; /**< Total data capacity. */
+    unsigned associativity = 8;     /**< Ways per set. */
+    unsigned lineBytes = 64;        /**< Cache line size. */
+    Cycles accessLatency = 4;       /**< Hit latency in core cycles. */
 
+    /** Number of sets implied by the geometry. */
     std::uint64_t numSets() const
     {
         return sizeBytes / (static_cast<std::uint64_t>(associativity) *
                             lineBytes);
     }
 
+    /** Fatal on impossible geometry (non-power-of-two sets, ...). */
     void validate() const;
 };
 
 /** Geometry and penalty of one SRAM TLB level. */
 struct TlbConfig
 {
-    std::string name = "tlb";
-    unsigned entries = 64;
-    unsigned associativity = 4;
+    std::string name = "tlb"; /**< Stat-group / log name. */
+    unsigned entries = 64;    /**< Total entry count. */
+    unsigned associativity = 4; /**< Ways per set. */
     /** Cycles charged when this level misses (Table 1 miss penalty). */
     Cycles missPenalty = 9;
     /** Lookup latency for explicit probes (shared L2 TLB baseline). */
     Cycles accessLatency = 1;
 
+    /** Number of sets implied by the geometry. */
     unsigned numSets() const { return entries / associativity; }
 
+    /** Fatal on impossible geometry. */
     void validate() const;
 };
 
 /** Page-structure-cache sizes (PML4E / PDPE / PDE caches, Table 1). */
 struct PscConfig
 {
-    unsigned pml4Entries = 2;
-    unsigned pdpEntries = 4;
-    unsigned pdeEntries = 32;
-    Cycles accessLatency = 2;
+    unsigned pml4Entries = 2;  /**< PML4E cache entries. */
+    unsigned pdpEntries = 4;   /**< PDPE cache entries. */
+    unsigned pdeEntries = 32;  /**< PDE cache entries. */
+    Cycles accessLatency = 2;  /**< PSC probe latency (core cycles). */
 
     /**
      * Nested-TLB entries caching complete gPA -> hPA translations for
@@ -67,9 +71,10 @@ struct PscConfig
      * Table 1 PSCs accelerate the guest dimension only.
      */
     unsigned nestedTlbEntries = 32;
-    unsigned nestedTlbAssociativity = 4;
-    Cycles nestedTlbLatency = 2;
+    unsigned nestedTlbAssociativity = 4; /**< Nested-TLB ways. */
+    Cycles nestedTlbLatency = 2; /**< Nested-TLB probe latency. */
 
+    /** Fatal on impossible geometry. */
     void validate() const;
 };
 
@@ -81,16 +86,16 @@ struct PscConfig
  */
 struct DramConfig
 {
-    std::string name = "dram";
-    double busFreqGhz = 1.0;
-    unsigned busWidthBits = 128;
-    std::uint64_t rowBufferBytes = 2048;
-    unsigned tCas = 11;
-    unsigned tRcd = 11;
-    unsigned tRp = 11;
-    unsigned numBanks = 8;
-    unsigned numChannels = 1;
-    unsigned burstBytes = 64;
+    std::string name = "dram"; /**< Stat-group / log name. */
+    double busFreqGhz = 1.0;   /**< Memory bus clock. */
+    unsigned busWidthBits = 128; /**< Data bus width. */
+    std::uint64_t rowBufferBytes = 2048; /**< Open-row size. */
+    unsigned tCas = 11; /**< Column access (CL), bus cycles. */
+    unsigned tRcd = 11; /**< RAS-to-CAS delay, bus cycles. */
+    unsigned tRp = 11;  /**< Row precharge, bus cycles. */
+    unsigned numBanks = 8;    /**< Banks per channel. */
+    unsigned numChannels = 1; /**< Independent channels. */
+    unsigned burstBytes = 64; /**< Bytes moved per burst. */
     /** Core clock, to convert bus cycles into core cycles. */
     double coreFreqGhz = 4.0;
     /**
@@ -109,8 +114,8 @@ struct DramConfig
      * fidelity studies.
      */
     bool refreshEnabled = false;
-    unsigned refreshIntervalBusCycles = 7800; // ~7.8 us at 1 GHz
-    unsigned refreshBusCycles = 350;          // ~350 ns tRFC
+    unsigned refreshIntervalBusCycles = 7800; /**< tREFI (~7.8 us). */
+    unsigned refreshBusCycles = 350;          /**< tRFC (~350 ns). */
     /**
      * Four-activation window (tFAW): at most four row activations
      * per channel within this many bus cycles. 0 disables the
@@ -129,6 +134,7 @@ struct DramConfig
     /** Bus cycles needed to move one burst of @c burstBytes. */
     double burstBusCycles() const;
 
+    /** Fatal on impossible timing/geometry combinations. */
     void validate() const;
 };
 
@@ -144,8 +150,8 @@ struct PomTlbConfig
      * set counts.
      */
     double smallPartitionFraction = 0.5;
-    unsigned entryBytes = 16;
-    unsigned associativity = 4;
+    unsigned entryBytes = 16;   /**< Bytes per TLB entry (§2.1.1). */
+    unsigned associativity = 4; /**< Entries per set line. */
     /** Predictor table entries (512 x 2 bits, Section 2.1.4). */
     unsigned predictorEntries = 512;
     /** Base host-physical address the small partition is mapped at. */
@@ -170,6 +176,7 @@ struct PomTlbConfig
      */
     bool unifiedOrganization = false;
 
+    /** Capacity given to the 4 KB-page partition. */
     std::uint64_t
     smallPartitionBytes() const
     {
@@ -177,44 +184,47 @@ struct PomTlbConfig
             static_cast<double>(capacityBytes) * smallPartitionFraction);
     }
 
+    /** Capacity left for the 2 MB-page partition. */
     std::uint64_t
     largePartitionBytes() const
     {
         return capacityBytes - smallPartitionBytes();
     }
 
+    /** Fatal on impossible geometry. */
     void validate() const;
 };
 
 /** SPARC-style TSB baseline parameters (Section 3.3). */
 struct TsbConfig
 {
-    std::uint64_t capacityBytes = 16 * 1024 * 1024;
-    unsigned entryBytes = 16;
+    std::uint64_t capacityBytes = 16 * 1024 * 1024; /**< TSB size. */
+    unsigned entryBytes = 16; /**< Bytes per TSB entry. */
     /** Software trap entry/exit cost in core cycles. */
     Cycles trapCycles = 30;
     /** TSB lookups needed per complete translation (paper: several). */
     unsigned accessesPerTranslation = 2;
 
+    /** Fatal on impossible geometry. */
     void validate() const;
 };
 
 /** Full system configuration (Table 1 defaults). */
 struct SystemConfig
 {
-    unsigned numCores = 8;
-    double coreFreqGhz = 4.0;
-    ExecMode mode = ExecMode::Virtualized;
+    unsigned numCores = 8;    /**< Simulated cores (Table 1: 8). */
+    double coreFreqGhz = 4.0; /**< Core clock. */
+    ExecMode mode = ExecMode::Virtualized; /**< Native or guest. */
 
-    CacheConfig l1d{"l1d", 32 * 1024, 8, 64, 4};
-    CacheConfig l2{"l2", 256 * 1024, 4, 64, 12};
-    CacheConfig l3{"l3", 8 * 1024 * 1024, 16, 64, 42};
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 64, 4}; /**< Per-core L1D. */
+    CacheConfig l2{"l2", 256 * 1024, 4, 64, 12}; /**< Per-core L2D. */
+    CacheConfig l3{"l3", 8 * 1024 * 1024, 16, 64, 42}; /**< Shared L3. */
 
-    TlbConfig l1TlbSmall{"l1tlb4k", 64, 4, 9, 1};
-    TlbConfig l1TlbLarge{"l1tlb2m", 32, 4, 9, 1};
-    TlbConfig l2Tlb{"l2tlb", 1536, 12, 17, 7};
+    TlbConfig l1TlbSmall{"l1tlb4k", 64, 4, 9, 1}; /**< L1 4 KB TLB. */
+    TlbConfig l1TlbLarge{"l1tlb2m", 32, 4, 9, 1}; /**< L1 2 MB TLB. */
+    TlbConfig l2Tlb{"l2tlb", 1536, 12, 17, 7}; /**< Unified L2 TLB. */
 
-    PscConfig psc{};
+    PscConfig psc{}; /**< Page-structure caches + nested TLB. */
     /**
      * Section 5.1 extension: make L2D$/L3D$ eviction prefer data
      * lines over cached POM-TLB lines. Off by default (the paper
@@ -236,15 +246,16 @@ struct SystemConfig
      * bench_abl_l4_cache ablation measures it.
      */
     bool dieStackedL4Cache = false;
-    std::uint64_t l4CacheBytes = 16 * 1024 * 1024;
-    DramConfig dieStacked = DramConfig::dieStacked();
-    DramConfig mainMemory = DramConfig::ddr4();
-    PomTlbConfig pomTlb{};
-    TsbConfig tsb{};
+    std::uint64_t l4CacheBytes = 16 * 1024 * 1024; /**< L4 size. */
+    DramConfig dieStacked = DramConfig::dieStacked(); /**< POM channel. */
+    DramConfig mainMemory = DramConfig::ddr4(); /**< Main memory. */
+    PomTlbConfig pomTlb{}; /**< POM-TLB geometry + predictors. */
+    TsbConfig tsb{};       /**< TSB baseline parameters. */
 
     /** RNG seed that every derived stream forks from. */
     std::uint64_t seed = 0x5eed5eed;
 
+    /** Validate every sub-config; fatal on the first violation. */
     void validate() const;
 
     /** The paper's 8-core Table 1 machine. */

@@ -1,16 +1,29 @@
 /**
  * @file
- * A small statistics framework in the spirit of gem5's Stats package.
+ * The statistics framework behind the simulator's observability layer.
  *
- * Components own a StatGroup; they register named counters and derived
- * ratios against it. Groups nest, so a full machine can dump one tree
- * of statistics. Everything is plain uint64/double — no atomics, the
- * simulator is single-threaded by design.
+ * Components own a StatGroup; they register named counters, averaged
+ * samples, derived ratios, and log2-bucketed latency histograms
+ * against it. Groups nest, and a Machine registers every top-level
+ * group into one StatsRegistry, so a full machine dumps (or
+ * JSON-exports) a single hierarchical tree of statistics — the
+ * `components` section of the versioned `pomtlb-stats-v1` document
+ * (see docs/metrics.md for the full schema reference).
+ *
+ * Everything is plain uint64/double — no atomics, the simulator core
+ * is single-threaded by design (sweep workers each own a whole
+ * machine, and therefore a whole registry). The one global knob,
+ * StatsRegistry::detail(), gates the *optional* distribution
+ * sampling (histograms) in hot paths so the disabled path costs a
+ * single predictable branch; plain counters are always live because
+ * the simulator's results are computed from them.
  */
 
 #ifndef POMTLB_COMMON_STATS_HH
 #define POMTLB_COMMON_STATS_HH
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -20,17 +33,24 @@
 namespace pomtlb
 {
 
+class JsonValue;
+
 /** A monotonically increasing event counter. */
 class Counter
 {
   public:
     Counter() = default;
 
+    /** Add @p amount to the count. */
     void increment(std::uint64_t amount = 1) { count += amount; }
+    /** Zero the count. */
     void reset() { count = 0; }
+    /** Current count. */
     std::uint64_t value() const { return count; }
 
+    /** Pre-increment by one. */
     Counter &operator++() { ++count; return *this; }
+    /** Add @p amount. */
     Counter &operator+=(std::uint64_t amount) { count += amount; return *this; }
 
   private:
@@ -41,6 +61,7 @@ class Counter
 class Average
 {
   public:
+    /** Record one sample. */
     void
     sample(double value)
     {
@@ -48,6 +69,7 @@ class Average
         ++samples;
     }
 
+    /** Zero the accumulator. */
     void
     reset()
     {
@@ -55,8 +77,11 @@ class Average
         samples = 0;
     }
 
+    /** Mean of all samples (0 when empty). */
     double mean() const { return samples ? total / samples : 0.0; }
+    /** Number of samples recorded. */
     std::uint64_t sampleCount() const { return samples; }
+    /** Sum of all samples. */
     double sum() const { return total; }
 
   private:
@@ -71,11 +96,13 @@ class Average
 class Histogram
 {
   public:
+    /** @param width bucket width; @param buckets bucket count. */
     Histogram(std::uint64_t width, std::size_t buckets)
         : bucketWidth(width), counts(buckets + 1, 0)
     {
     }
 
+    /** Record one sample. */
     void
     sample(std::uint64_t value)
     {
@@ -89,6 +116,7 @@ class Histogram
             maxSeen = value;
     }
 
+    /** Zero every bucket and accumulator. */
     void
     reset()
     {
@@ -99,15 +127,22 @@ class Histogram
         maxSeen = 0;
     }
 
+    /** Number of regular (non-overflow) buckets. */
     std::uint64_t bucketCount() const { return counts.size() - 1; }
+    /** Count in bucket @p index. */
     std::uint64_t bucket(std::size_t index) const { return counts[index]; }
+    /** Count of samples beyond the last regular bucket. */
     std::uint64_t overflow() const { return counts.back(); }
+    /** Number of samples recorded. */
     std::uint64_t sampleCount() const { return samples; }
+    /** Largest sample seen. */
     std::uint64_t maxValue() const { return maxSeen; }
+    /** Mean of all samples (0 when empty). */
     double mean() const
     {
         return samples ? static_cast<double>(total) / samples : 0.0;
     }
+    /** Configured bucket width. */
     std::uint64_t width() const { return bucketWidth; }
 
   private:
@@ -119,13 +154,108 @@ class Histogram
 };
 
 /**
+ * A log2-bucketed histogram covering the whole uint64 range with 65
+ * buckets and no overflow bucket: bucket 0 holds exactly the value 0,
+ * bucket b >= 1 holds [2^(b-1), 2^b - 1]. Sampling is one bit_width
+ * plus two increments — cheap enough for translation-latency
+ * distributions on the miss path.
+ */
+class Log2Histogram
+{
+  public:
+    /** Bucket count: one zero bucket plus one per bit position. */
+    static constexpr std::size_t numBuckets = 65;
+
+    /** Bucket index @p value lands in (0 for 0, else bit_width). */
+    static std::size_t
+    bucketIndex(std::uint64_t value)
+    {
+        return static_cast<std::size_t>(std::bit_width(value));
+    }
+
+    /** Smallest value bucket @p index holds. */
+    static std::uint64_t
+    bucketLow(std::size_t index)
+    {
+        return index == 0 ? 0
+                          : std::uint64_t{1} << (index - 1);
+    }
+
+    /** Largest value bucket @p index holds. */
+    static std::uint64_t
+    bucketHigh(std::size_t index)
+    {
+        if (index == 0)
+            return 0;
+        if (index >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << index) - 1;
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t value)
+    {
+        ++counts[bucketIndex(value)];
+        total += static_cast<double>(value);
+        ++samples;
+        if (value > maxSeen)
+            maxSeen = value;
+    }
+
+    /** Zero every bucket and accumulator. */
+    void
+    reset()
+    {
+        for (auto &c : counts)
+            c = 0;
+        total = 0.0;
+        samples = 0;
+        maxSeen = 0;
+    }
+
+    /** Count in bucket @p index. */
+    std::uint64_t bucket(std::size_t index) const
+    {
+        return counts[index];
+    }
+    /** Number of samples recorded. */
+    std::uint64_t sampleCount() const { return samples; }
+    /** Largest sample seen. */
+    std::uint64_t maxValue() const { return maxSeen; }
+    /** Mean of all samples (0 when empty). */
+    double mean() const { return samples ? total / samples : 0.0; }
+
+    /**
+     * Upper bound of the bucket containing the @p percent-th
+     * percentile sample (0 when empty). @p percent in [0, 100].
+     */
+    std::uint64_t percentileUpperBound(double percent) const;
+
+    /**
+     * Serialise as a JSON object: kind, samples, mean, max, and the
+     * non-empty buckets as {lo, hi, count} triples.
+     */
+    JsonValue toJson() const;
+
+  private:
+    std::uint64_t counts[numBuckets] = {};
+    double total = 0.0;
+    std::uint64_t samples = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/**
  * A named collection of statistics belonging to one component.
  * Registration stores a name plus an accessor closure; dump() walks
- * the group tree and pretty-prints "group.stat value" lines.
+ * the group tree and pretty-prints "group.stat value" lines, while
+ * toJson() renders the same tree as nested objects for the
+ * `pomtlb-stats-v1` document.
  */
 class StatGroup
 {
   public:
+    /** @param group_name dotted-path segment this group contributes. */
     explicit StatGroup(std::string group_name);
 
     /** Non-copyable: registered closures capture component pointers. */
@@ -142,6 +272,10 @@ class StatGroup
     void addDerived(const std::string &name,
                     std::function<double()> compute);
 
+    /** Register a log2 latency histogram (must outlive the group). */
+    void addHistogram(const std::string &name,
+                      const Log2Histogram &histogram);
+
     /** Attach @p child as a nested group (child must outlive us). */
     void addChild(const StatGroup &child);
 
@@ -152,6 +286,13 @@ class StatGroup
     void collect(std::vector<std::pair<std::string, double>> &out,
                  const std::string &prefix = "") const;
 
+    /**
+     * Serialise this group (scalars, histograms, children) as one
+     * JSON object; the caller keys it by name().
+     */
+    JsonValue toJson() const;
+
+    /** The group's dotted-path segment. */
     const std::string &name() const { return groupName; }
 
   private:
@@ -164,7 +305,73 @@ class StatGroup
 
     std::string groupName;
     std::vector<Entry> entries;
+    std::vector<std::pair<std::string, const Log2Histogram *>>
+        histograms;
     std::vector<const StatGroup *> children;
+};
+
+/**
+ * The machine-wide stats tree: every component's top-level StatGroup
+ * registers here (Machine wires this up), giving one place to dump,
+ * flatten, or JSON-export the whole hierarchy.
+ *
+ * The registry does not own groups — components do, and they must
+ * outlive it. The static detail() switch gates optional distribution
+ * sampling machine-wide (see file header); it defaults to on and can
+ * be disabled with POMTLB_STATS_DETAIL=0 or setDetail(false).
+ */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+
+    /** Registries hold raw pointers into components: not copyable. */
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /** Register @p group as a top-level tree root (must outlive us). */
+    void add(const StatGroup &group);
+
+    /** Number of registered top-level groups. */
+    std::size_t groupCount() const { return groups.size(); }
+
+    /** The registered top-level groups, in registration order. */
+    const std::vector<const StatGroup *> &topLevel() const
+    {
+        return groups;
+    }
+
+    /** Print every "name value" line of every registered tree. */
+    void dump(std::ostream &os) const;
+
+    /** Flatten every tree into (dotted-name, value) pairs. */
+    void collect(std::vector<std::pair<std::string, double>> &out) const;
+
+    /**
+     * Serialise the whole tree as one JSON object keyed by top-level
+     * group name — the `components` section of `pomtlb-stats-v1`.
+     */
+    JsonValue toJson() const;
+
+    /** Whether optional distribution sampling is enabled. */
+    static bool
+    detail()
+    {
+        return detailEnabled().load(std::memory_order_relaxed);
+    }
+
+    /** Turn optional distribution sampling on or off globally. */
+    static void
+    setDetail(bool enabled)
+    {
+        detailEnabled().store(enabled, std::memory_order_relaxed);
+    }
+
+  private:
+    /** The global detail flag, seeded from POMTLB_STATS_DETAIL. */
+    static std::atomic<bool> &detailEnabled();
+
+    std::vector<const StatGroup *> groups;
 };
 
 /** Geometric mean of a vector of positive values (0 for empty input). */

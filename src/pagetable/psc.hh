@@ -60,9 +60,20 @@ class StructureCache
     /** Drop everything. */
     void flush();
 
+    /** Probe hits since the stats reset. */
     std::uint64_t hits() const { return hitCount.value(); }
+    /** Probe misses since the stats reset. */
     std::uint64_t misses() const { return missCount.value(); }
+    /** The page-table level this cache accelerates. */
     WalkLevel level() const { return cachedLevel; }
+
+    /** Zero the hit/miss counters (entries stay). */
+    void
+    resetStats()
+    {
+        hitCount.reset();
+        missCount.reset();
+    }
 
   private:
     /** Tag: the VA bits indexing this level and everything above. */
@@ -118,11 +129,25 @@ class PscSet
      */
     void fill(Addr addr, VmId vm, ProcessId pid, unsigned level);
 
+    /** Drop all of @p vm's entries from every level cache. */
     void invalidateVm(VmId vm);
+    /** Drop every entry (full flush). */
     void flush();
 
+    /** Zero every level cache's counters. */
+    void
+    resetStats()
+    {
+        pml4.resetStats();
+        pdp.resetStats();
+        pde.resetStats();
+    }
+
+    /** The PML4E-level cache. */
     const StructureCache &pml4Cache() const { return pml4; }
+    /** The PDPE-level cache. */
     const StructureCache &pdpCache() const { return pdp; }
+    /** The PDE-level cache. */
     const StructureCache &pdeCache() const { return pde; }
 
   private:

@@ -24,8 +24,11 @@ namespace
 TlbConfig
 nestedTlbConfig(const PscConfig &psc_config, CoreId core)
 {
+    // No core suffix: the nested TLB's group nests under the owning
+    // walker's "walker.<core>" group, which carries the core id.
+    (void)core;
     TlbConfig config;
-    config.name = "nested_tlb." + std::to_string(core);
+    config.name = "nested_tlb";
     config.entries = psc_config.nestedTlbEntries;
     config.associativity = psc_config.nestedTlbAssociativity;
     config.missPenalty = 0;
@@ -43,8 +46,33 @@ PageWalker::PageWalker(CoreId core, MemoryMap &memory_map,
       dataHierarchy(hierarchy),
       guestPsc(psc_config),
       nestedTlb(nestedTlbConfig(psc_config, core)),
-      nestedTlbLatency(psc_config.nestedTlbLatency)
+      nestedTlbLatency(psc_config.nestedTlbLatency),
+      statGroup("walker." + std::to_string(core))
 {
+    statGroup.addCounter("walks", walks);
+    statGroup.addAverage("avg_refs_per_walk", refsPerWalk);
+    statGroup.addAverage("avg_cycles_per_walk", cyclesPerWalk);
+    statGroup.addDerived("psc_pml4_hits", [this] {
+        return static_cast<double>(guestPsc.pml4Cache().hits());
+    });
+    statGroup.addDerived("psc_pml4_misses", [this] {
+        return static_cast<double>(guestPsc.pml4Cache().misses());
+    });
+    statGroup.addDerived("psc_pdp_hits", [this] {
+        return static_cast<double>(guestPsc.pdpCache().hits());
+    });
+    statGroup.addDerived("psc_pdp_misses", [this] {
+        return static_cast<double>(guestPsc.pdpCache().misses());
+    });
+    statGroup.addDerived("psc_pde_hits", [this] {
+        return static_cast<double>(guestPsc.pdeCache().hits());
+    });
+    statGroup.addDerived("psc_pde_misses", [this] {
+        return static_cast<double>(guestPsc.pdeCache().misses());
+    });
+    statGroup.addHistogram("walk_cycle_hist", walkCycleHist);
+    statGroup.addHistogram("walk_ref_hist", walkRefHist);
+    statGroup.addChild(nestedTlb.stats());
 }
 
 WalkResult
@@ -61,6 +89,10 @@ PageWalker::walk(Addr vaddr, VmId vm, ProcessId pid, PageSize size,
     ++walks;
     refsPerWalk.sample(static_cast<double>(result.memRefs));
     cyclesPerWalk.sample(static_cast<double>(result.cycles));
+    if (StatsRegistry::detail()) {
+        walkCycleHist.sample(result.cycles);
+        walkRefHist.sample(result.memRefs);
+    }
     return result;
 }
 
@@ -192,6 +224,10 @@ PageWalker::resetStats()
     walks.reset();
     refsPerWalk.reset();
     cyclesPerWalk.reset();
+    walkCycleHist.reset();
+    walkRefHist.reset();
+    guestPsc.resetStats();
+    nestedTlb.resetStats();
 }
 
 } // namespace pomtlb

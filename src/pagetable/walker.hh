@@ -61,11 +61,21 @@ class PageWalker
     /** Shootdown support: drop a VM's structure-cache entries. */
     void invalidateVm(VmId vm);
 
+    /** Walks performed since the stats reset. */
     std::uint64_t walkCount() const { return walks.value(); }
+    /** Mean PTE memory references per walk. */
     double avgRefsPerWalk() const { return refsPerWalk.mean(); }
+    /** Mean cycles per walk. */
     double avgCyclesPerWalk() const { return cyclesPerWalk.mean(); }
+    /** The guest-VA-indexed structure caches. */
     const PscSet &guestPscSet() const { return guestPsc; }
+    /** The nested (EPT) gPA -> hPA TLB. */
     const SetAssocTlb &nestedTlbCache() const { return nestedTlb; }
+
+    /** This walker's statistics group ("walker.<core>"). */
+    const StatGroup &stats() const { return statGroup; }
+
+    /** Zero walker, PSC, and nested-TLB statistics. */
     void resetStats();
 
   private:
@@ -97,6 +107,11 @@ class PageWalker
     Counter walks;
     Average refsPerWalk;
     Average cyclesPerWalk;
+    /** Distribution of walk latencies (log2 buckets). */
+    Log2Histogram walkCycleHist;
+    /** Distribution of PTE references per walk (log2 buckets). */
+    Log2Histogram walkRefHist;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

@@ -17,10 +17,19 @@ PomTlbPartition::PomTlbPartition(std::string name, std::uint64_t set_count,
     : partitionName(std::move(name)),
       sets(set_count),
       ways(way_count),
-      entries(set_count * way_count)
+      entries(set_count * way_count),
+      statGroup(partitionName)
 {
     simAssert(set_count > 0 && way_count > 0,
               "POM-TLB partition needs sets and ways");
+    statGroup.addCounter("hits", hitCount);
+    statGroup.addCounter("misses", missCount);
+    statGroup.addCounter("insertions", insertions);
+    statGroup.addCounter("evictions", evictions);
+    statGroup.addDerived("hit_rate", [this] { return hitRate(); });
+    statGroup.addDerived("valid_entries", [this] {
+        return static_cast<double>(validEntries);
+    });
 }
 
 void

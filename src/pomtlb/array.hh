@@ -52,12 +52,21 @@ class PomTlbPartition
     /** Drop all entries of @p vm; returns the count. */
     std::uint64_t invalidateVm(VmId vm);
 
+    /** Lookups that matched an entry since the stats reset. */
     std::uint64_t hits() const { return hitCount.value(); }
+    /** Lookups that matched no entry since the stats reset. */
     std::uint64_t misses() const { return missCount.value(); }
+    /** Fraction of lookups that hit (0 when no lookups happened). */
     double hitRate() const;
+    /** Entries currently valid in the array. */
     std::uint64_t validEntryCount() const { return validEntries; }
+    /** Number of sets in this partition. */
     std::uint64_t setCount() const { return sets; }
+    /** Zero all partition counters. */
     void resetStats();
+
+    /** The partition's statistics group (named after the partition). */
+    const StatGroup &stats() const { return statGroup; }
 
   private:
     /** Age every other valid entry in the set; set way's age to 0. */
@@ -73,6 +82,7 @@ class PomTlbPartition
     Counter missCount;
     Counter insertions;
     Counter evictions;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

@@ -5,19 +5,26 @@ namespace pomtlb
 
 PomTlb::PomTlb(const PomTlbConfig &config, DramController &die_stacked)
     : addressMap(config),
-      smallPartition(config.unifiedOrganization ? "pom_tlb_unified"
-                                                : "pom_tlb_small",
+      smallPartition(config.unifiedOrganization ? "unified_partition"
+                                                : "small_partition",
                      addressMap.numSets(PageSize::Small4K),
                      config.associativity),
       // In the unified organisation the "large" member is a 1-set
       // stub; both sizes route to the shared array.
-      largePartition("pom_tlb_large",
+      largePartition("large_partition",
                      config.unifiedOrganization
                          ? 1
                          : addressMap.numSets(PageSize::Large2M),
                      config.associativity),
-      dram(die_stacked)
+      dram(die_stacked),
+      statGroup("pom_tlb")
 {
+    statGroup.addDerived("hit_rate", [this] { return hitRate(); });
+    statGroup.addDerived("row_buffer_hit_rate",
+                         [this] { return rowBufferHitRate(); });
+    statGroup.addChild(smallPartition.stats());
+    if (!addressMap.isUnified())
+        statGroup.addChild(largePartition.stats());
 }
 
 PomTlbDeviceResult

@@ -88,7 +88,9 @@ class PomTlb
         return dram.rowBufferHitRate();
     }
 
+    /** The set-address map (Section 2.1 addressing). */
     const PomTlbAddressMap &addrMap() const { return addressMap; }
+    /** The partition serving @p size pages. */
     const PomTlbPartition &
     partition(PageSize size) const
     {
@@ -97,8 +99,13 @@ class PomTlb
         return size == PageSize::Small4K ? smallPartition
                                          : largePartition;
     }
+    /** The dedicated die-stacked DRAM channel behind the device. */
     DramController &dramController() { return dram; }
 
+    /** Device-level statistics, with both partitions as children. */
+    const StatGroup &stats() const { return statGroup; }
+
+    /** Zero device and partition counters. */
     void resetStats();
 
   private:
@@ -115,6 +122,7 @@ class PomTlb
     PomTlbPartition smallPartition;
     PomTlbPartition largePartition;
     DramController &dram;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

@@ -11,20 +11,49 @@ PomTlbScheme::PomTlbScheme(
     : tlbConfig(config),
       pomTlb(pom),
       dataHierarchy(hierarchy),
-      pageWalkers(walkers)
+      pageWalkers(walkers),
+      statGroup("scheme")
 {
     predictors.reserve(hierarchy.numCores());
     for (unsigned core = 0; core < hierarchy.numCores(); ++core) {
         predictors.push_back(std::make_unique<SizeBypassPredictor>(
             config.predictorEntries));
     }
+
+    statGroup.addCounter("requests", requests);
+    statGroup.addCounter("served_l2d_cache", served[0]);
+    statGroup.addCounter("served_l3d_cache", served[1]);
+    statGroup.addCounter("served_pom_dram", served[2]);
+    statGroup.addCounter("served_page_walk", served[3]);
+    statGroup.addCounter("l2d_cache_cycles", servedCycles[0]);
+    statGroup.addCounter("l3d_cache_cycles", servedCycles[1]);
+    statGroup.addCounter("pom_dram_cycles", servedCycles[2]);
+    statGroup.addCounter("walk_path_cycles", servedCycles[3]);
+    statGroup.addCounter("second_size_lookups", secondSizeLookups);
+    statGroup.addCounter("bypasses", bypasses);
+    statGroup.addCounter("prefetches", prefetches);
+    statGroup.addAverage("avg_miss_cycles", missCycles);
+    statGroup.addDerived("l2d_service_rate",
+                         [this] { return l2CacheServiceRate(); });
+    statGroup.addDerived("l3d_service_rate",
+                         [this] { return l3CacheServiceRate(); });
+    statGroup.addDerived("pom_dram_service_rate",
+                         [this] { return pomDramServiceRate(); });
+    statGroup.addDerived("walk_elimination_rate",
+                         [this] { return walkEliminationRate(); });
+    statGroup.addDerived("size_predictor_accuracy",
+                         [this] { return sizePredictorAccuracy(); });
+    statGroup.addDerived("bypass_predictor_accuracy",
+                         [this] { return bypassPredictorAccuracy(); });
+    statGroup.addHistogram("miss_cycle_hist", missCycleHist);
+    statGroup.addChild(pomTlb.stats());
 }
 
 bool
 PomTlbScheme::trySize(CoreId core, Addr vaddr, PageSize size, VmId vm,
                       ProcessId pid, bool bypass, Cycles now,
                       Cycles &cycles, PageNum &pfn,
-                      PomServiceLevel &level)
+                      PomServiceLevel &level, std::uint8_t &probes)
 {
     const Addr set_addr = pomTlb.setAddress(vaddr, vm, size);
 
@@ -32,6 +61,7 @@ PomTlbScheme::trySize(CoreId core, Addr vaddr, PageSize size, VmId vm,
         const CacheProbeResult probe =
             dataHierarchy.probeTlbLine(core, set_addr, now + cycles);
         cycles += probe.latency;
+        ++probes;
         if (probe.hit) {
             // The cached line is coherent with the array: search it.
             const PomTlbArrayResult search =
@@ -52,6 +82,7 @@ PomTlbScheme::trySize(CoreId core, Addr vaddr, PageSize size, VmId vm,
     const PomTlbDeviceResult dram =
         pomTlb.lookupDram(vaddr, vm, pid, size, now + cycles);
     cycles += dram.cycles;
+    ++probes;
     if (tlbConfig.cacheable)
         dataHierarchy.fillTlbLine(core, set_addr);
     if (dram.hit) {
@@ -96,11 +127,14 @@ PomTlbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
     PomServiceLevel level = PomServiceLevel::PageWalk;
 
     bool found = trySize(core, vaddr, predicted_size, vm, pid, bypass,
-                         now, result.cycles, result.pfn, level);
+                         now, result.cycles, result.pfn, level,
+                         result.probes);
     if (!found) {
         ++secondSizeLookups;
+        result.firstTryServed = false;
         found = trySize(core, vaddr, other_size, vm, pid, bypass, now,
-                        result.cycles, result.pfn, level);
+                        result.cycles, result.pfn, level,
+                        result.probes);
     }
 
     if (!found) {
@@ -110,6 +144,8 @@ PomTlbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
         result.cycles += walk.cycles;
         result.pfn = walk.hostPfn;
         result.walked = true;
+        result.firstTryServed = false;
+        ++result.probes;
         level = PomServiceLevel::PageWalk;
 
         pomTlb.install(vaddr, vm, pid, size, walk.hostPfn,
@@ -137,8 +173,34 @@ PomTlbScheme::translateMiss(CoreId core, Addr vaddr, PageSize size,
     }
 
     ++served[static_cast<unsigned>(level)];
+    servedCycles[static_cast<unsigned>(level)] += result.cycles;
+    switch (level) {
+      case PomServiceLevel::L2Cache:
+        result.servedBy = ServicePoint::CacheL2D;
+        break;
+      case PomServiceLevel::L3Cache:
+        result.servedBy = ServicePoint::CacheL3D;
+        break;
+      case PomServiceLevel::PomDram:
+        result.servedBy = ServicePoint::PomDram;
+        break;
+      case PomServiceLevel::PageWalk:
+        result.servedBy = ServicePoint::PageWalk;
+        break;
+    }
     missCycles.sample(static_cast<double>(result.cycles));
+    if (StatsRegistry::detail())
+        missCycleHist.sample(result.cycles);
     return result;
+}
+
+std::vector<std::pair<ServicePoint, std::uint64_t>>
+PomTlbScheme::cycleBreakdown() const
+{
+    return {{ServicePoint::CacheL2D, servedCycles[0].value()},
+            {ServicePoint::CacheL3D, servedCycles[1].value()},
+            {ServicePoint::PomDram, servedCycles[2].value()},
+            {ServicePoint::PageWalk, servedCycles[3].value()}};
 }
 
 void
@@ -173,9 +235,13 @@ PomTlbScheme::resetStats()
     requests.reset();
     for (auto &counter : served)
         counter.reset();
+    for (auto &counter : servedCycles)
+        counter.reset();
     secondSizeLookups.reset();
     bypasses.reset();
+    prefetches.reset();
     missCycles.reset();
+    missCycleHist.reset();
     for (auto &predictor : predictors)
         predictor->resetStats();
     pomTlb.resetStats();

@@ -67,6 +67,13 @@ class PomTlbScheme : public TranslationScheme
     void invalidateVm(VmId vm) override;
     void resetStats() override;
 
+    const StatGroup *statistics() const override
+    {
+        return &statGroup;
+    }
+    std::vector<std::pair<ServicePoint, std::uint64_t>>
+    cycleBreakdown() const override;
+
     /** Figure 9: fraction of requests served by the L2D$. */
     double l2CacheServiceRate() const;
     /** Figure 9: of requests past the L2D$, fraction the L3D$ served. */
@@ -80,13 +87,17 @@ class PomTlbScheme : public TranslationScheme
     double sizePredictorAccuracy() const;
     double bypassPredictorAccuracy() const;
 
+    /** Requests finally served at @p level since the stats reset. */
     std::uint64_t servedCount(PomServiceLevel level) const
     {
         return served[static_cast<unsigned>(level)].value();
     }
+    /** Total L2 TLB misses the scheme handled since the stats reset. */
     std::uint64_t requestCount() const { return requests.value(); }
+    /** Mean scheme cycles per request. */
     double avgMissCycles() const { return missCycles.mean(); }
 
+    /** The per-core size/bypass predictor (Figure 10 inputs). */
     const SizeBypassPredictor &predictor(CoreId core) const
     {
         return *predictors[core];
@@ -97,7 +108,7 @@ class PomTlbScheme : public TranslationScheme
     bool trySize(CoreId core, Addr vaddr, PageSize size, VmId vm,
                  ProcessId pid, bool bypass, Cycles now,
                  Cycles &cycles, PageNum &pfn,
-                 PomServiceLevel &level);
+                 PomServiceLevel &level, std::uint8_t &probes);
 
     PomTlbConfig tlbConfig;
     PomTlb &pomTlb;
@@ -107,10 +118,14 @@ class PomTlbScheme : public TranslationScheme
 
     Counter requests;
     Counter served[4];
+    /** Cycles of requests finally served at each PomServiceLevel. */
+    Counter servedCycles[4];
     Counter secondSizeLookups;
     Counter bypasses;
     Counter prefetches;
     Average missCycles;
+    Log2Histogram missCycleHist;
+    StatGroup statGroup;
 };
 
 } // namespace pomtlb

@@ -53,6 +53,18 @@ struct SchemeRunSummary
 
     /** Sum over cores of post-L1 translation cycles (T_post). */
     std::uint64_t translationCycles = 0;
+    /** SRAM-TLB share of translationCycles (exact split). */
+    std::uint64_t sramCycles = 0;
+    /** Scheme share of translationCycles (exact split). */
+    std::uint64_t schemeCycles = 0;
+    /**
+     * Scheme cycles attributed to each serving level, as reported by
+     * TranslationScheme::cycleBreakdown(); the values sum exactly to
+     * schemeCycles. Serialised as the `cycle_breakdown` object of
+     * both `pomtlb-sweep-v1` runs and `pomtlb-stats-v1` documents.
+     */
+    std::vector<std::pair<ServicePoint, std::uint64_t>>
+        cycleBreakdown;
     /** Average scheme cycles per last-level TLB miss (paper's P). */
     double avgPenaltyPerMiss = 0.0;
     /** Fraction of last-level TLB misses requiring a page walk. */

@@ -26,6 +26,51 @@ schemeKindName(SchemeKind kind)
     return "?";
 }
 
+const char *
+servicePointName(ServicePoint point)
+{
+    switch (point) {
+      case ServicePoint::SramL1:
+        return "sram_l1_tlb";
+      case ServicePoint::SramL2:
+        return "sram_l2_tlb";
+      case ServicePoint::CacheL2D:
+        return "pom_l2d_cache";
+      case ServicePoint::CacheL3D:
+        return "pom_l3d_cache";
+      case ServicePoint::PomDram:
+        return "pom_dram";
+      case ServicePoint::SharedTlb:
+        return "shared_l2_tlb";
+      case ServicePoint::TsbBuffer:
+        return "tsb_buffer";
+      case ServicePoint::PageWalk:
+        return "page_walk";
+    }
+    return "?";
+}
+
+const std::vector<ServicePoint> &
+allServicePoints()
+{
+    static const std::vector<ServicePoint> points = {
+        ServicePoint::SramL1,    ServicePoint::SramL2,
+        ServicePoint::CacheL2D,  ServicePoint::CacheL3D,
+        ServicePoint::PomDram,   ServicePoint::SharedTlb,
+        ServicePoint::TsbBuffer, ServicePoint::PageWalk};
+    return points;
+}
+
+std::optional<ServicePoint>
+servicePointFromName(const std::string &name)
+{
+    for (ServicePoint point : allServicePoints()) {
+        if (name == servicePointName(point))
+            return point;
+    }
+    return std::nullopt;
+}
+
 const std::vector<SchemeKind> &
 allSchemeKinds()
 {
@@ -121,6 +166,46 @@ Machine::Machine(const SystemConfig &config, SchemeKind scheme_kind)
         mmus.push_back(std::make_unique<Mmu>(systemConfig, core,
                                              *translationScheme));
     }
+
+    buildRegistry();
+}
+
+void
+Machine::buildRegistry()
+{
+    // Registration order is the dump/export order; keep it stable so
+    // documents and golden outputs stay diffable. Component groups
+    // must outlive the registry — everything registered here is owned
+    // by the machine (directly or through a component).
+    for (auto &mmu : mmus)
+        statsRegistry.add(mmu->stats());
+    for (auto &walker : walkers)
+        statsRegistry.add(walker->stats());
+    if (const StatGroup *scheme_stats = translationScheme->statistics())
+        statsRegistry.add(*scheme_stats);
+    for (unsigned core = 0; core < systemConfig.numCores; ++core) {
+        statsRegistry.add(dataHierarchy->l1d(core).stats());
+        statsRegistry.add(dataHierarchy->l2d(core).stats());
+    }
+    statsRegistry.add(dataHierarchy->l3d().stats());
+    statsRegistry.add(dataHierarchy->stats());
+    if (DramCache *l4 = dataHierarchy->l4Cache())
+        statsRegistry.add(l4->stats());
+    statsRegistry.add(mainMem->stats());
+    statsRegistry.add(dieStacked->stats());
+    if (l4Channel)
+        statsRegistry.add(l4Channel->stats());
+}
+
+TranslationTracer &
+Machine::enableTracing(std::size_t capacity,
+                       std::uint64_t sample_interval)
+{
+    eventTracer =
+        std::make_unique<TranslationTracer>(capacity, sample_interval);
+    for (auto &mmu : mmus)
+        mmu->setTracer(eventTracer.get());
+    return *eventTracer;
 }
 
 PomTlbScheme *
@@ -154,28 +239,14 @@ Machine::shootdownPage(Addr vaddr, PageSize size, VmId vm,
 void
 Machine::dumpStats(std::ostream &os) const
 {
-    mainMem->stats().dump(os);
-    dieStacked->stats().dump(os);
-    for (unsigned core = 0; core < systemConfig.numCores; ++core) {
-        mmus[core]->stats().dump(os);
-        dataHierarchy->l1d(core).stats().dump(os);
-        dataHierarchy->l2d(core).stats().dump(os);
-    }
-    dataHierarchy->l3d().stats().dump(os);
+    statsRegistry.dump(os);
 }
 
 void
 Machine::collectStats(
     std::vector<std::pair<std::string, double>> &out) const
 {
-    mainMem->stats().collect(out);
-    dieStacked->stats().collect(out);
-    for (unsigned core = 0; core < systemConfig.numCores; ++core) {
-        mmus[core]->stats().collect(out);
-        dataHierarchy->l1d(core).stats().collect(out);
-        dataHierarchy->l2d(core).stats().collect(out);
-    }
-    dataHierarchy->l3d().stats().collect(out);
+    statsRegistry.collect(out);
 }
 
 void
@@ -193,6 +264,8 @@ Machine::resetStats()
         l4Channel->resetStats();
     dieStacked->resetStats();
     translationScheme->resetStats();
+    if (eventTracer)
+        eventTracer->reset();
 }
 
 } // namespace pomtlb

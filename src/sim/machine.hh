@@ -17,6 +17,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "dram/controller.hh"
 #include "pagetable/memory_map.hh"
 #include "pagetable/walker.hh"
@@ -24,6 +25,7 @@
 #include "pomtlb/scheme.hh"
 #include "sim/mmu.hh"
 #include "sim/scheme.hh"
+#include "sim/translation_trace.hh"
 
 namespace pomtlb
 {
@@ -32,14 +34,26 @@ namespace pomtlb
 class Machine
 {
   public:
+    /**
+     * @param config      System geometry and feature switches.
+     * @param scheme_kind Which translation scheme to build behind the
+     *                    private SRAM TLBs.
+     */
     Machine(const SystemConfig &config, SchemeKind scheme_kind);
 
+    /** Core @p core's MMU front end. */
     Mmu &mmu(CoreId core) { return *mmus[core]; }
+    /** Core @p core's page walker. */
     PageWalker &walker(CoreId core) { return *walkers[core]; }
+    /** The shared data-cache hierarchy. */
     DataHierarchy &hierarchy() { return *dataHierarchy; }
+    /** The OS/VM memory map (page tables, frame allocation). */
     MemoryMap &memoryMap() { return *memMap; }
+    /** The translation scheme behind the SRAM TLBs. */
     TranslationScheme &scheme() { return *translationScheme; }
+    /** The main-memory (DDR4) channel. */
     DramController &mainMemory() { return *mainMem; }
+    /** The die-stacked channel (POM-TLB traffic). */
     DramController &dieStackedMemory() { return *dieStacked; }
 
     /** The POM-TLB device; null unless built with SchemeKind::PomTlb. */
@@ -47,9 +61,34 @@ class Machine
     /** The POM-TLB scheme view; null for other schemes. */
     PomTlbScheme *pomTlbScheme();
 
+    /** The scheme this machine was built for. */
     SchemeKind schemeKind() const { return kind; }
+    /** The (validated) system configuration the machine runs. */
     const SystemConfig &config() const { return systemConfig; }
+    /** Number of cores (MMU/walker pairs). */
     unsigned numCores() const { return systemConfig.numCores; }
+
+    /**
+     * The machine-wide statistics registry: every component's
+     * top-level StatGroup, registered at construction. This tree is
+     * the `components` section of the `pomtlb-stats-v1` document.
+     */
+    const StatsRegistry &registry() const { return statsRegistry; }
+
+    /**
+     * Attach a sampling translation tracer shared by every MMU.
+     * @param capacity        Ring capacity in events.
+     * @param sample_interval 1-in-N sampling interval (0 = the
+     *                        POMTLB_TRACE_SAMPLE default).
+     * @return The created tracer (owned by the machine).
+     */
+    TranslationTracer &enableTracing(std::size_t capacity = 4096,
+                                     std::uint64_t sample_interval = 0);
+
+    /** The attached tracer, or null when tracing is off. */
+    TranslationTracer *tracer() { return eventTracer.get(); }
+    /** The attached tracer, or null when tracing is off. */
+    const TranslationTracer *tracer() const { return eventTracer.get(); }
 
     /** Full VM shootdown: TLBs, PSCs, POM-TLB, scheme state. */
     void shootdownVm(VmId vm);
@@ -78,6 +117,9 @@ class Machine
         std::vector<std::pair<std::string, double>> &out) const;
 
   private:
+    /** Register every component's top-level group (ctor tail). */
+    void buildRegistry();
+
     SystemConfig systemConfig;
     SchemeKind kind;
 
@@ -91,6 +133,8 @@ class Machine
     std::unique_ptr<PomTlb> pomTlb;
     std::unique_ptr<TranslationScheme> translationScheme;
     std::vector<std::unique_ptr<Mmu>> mmus;
+    std::unique_ptr<TranslationTracer> eventTracer;
+    StatsRegistry statsRegistry;
 };
 
 } // namespace pomtlb

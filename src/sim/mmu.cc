@@ -1,5 +1,7 @@
 #include "sim/mmu.hh"
 
+#include "sim/translation_trace.hh"
+
 namespace pomtlb
 {
 
@@ -15,7 +17,14 @@ Mmu::Mmu(const SystemConfig &config, CoreId core,
     statGroup.addCounter("l2_hits", l2Hits);
     statGroup.addCounter("last_level_misses", l2Misses);
     statGroup.addCounter("translation_cycles", translationCycles);
+    statGroup.addCounter("sram_cycles", sramCycles);
+    statGroup.addCounter("scheme_cycles", schemeCycles);
     statGroup.addAverage("avg_penalty_per_miss", missPenalty);
+    statGroup.addHistogram("penalty_cycle_hist", penaltyCycleHist);
+    statGroup.addChild(coreTlbs->l1SmallTlb().stats());
+    statGroup.addChild(coreTlbs->l1LargeTlb().stats());
+    if (coreTlbs->hasPrivateL2())
+        statGroup.addChild(coreTlbs->l2Tlb().stats());
     statGroup.addDerived("penalty_p99_bucket", [this] {
         // Upper edge of the bucket containing the 99th percentile.
         const std::uint64_t total = penaltyHist.sampleCount();
@@ -40,19 +49,42 @@ Mmu::translate(Addr vaddr, PageSize size, VmId vm, ProcessId pid,
     ++translations;
     MmuResult result;
 
+    // Sampling decision first, so every translation advances the
+    // tracer's 1-in-N counter whether or not this one is recorded.
+    const bool traced = tracer != nullptr && tracer->shouldSample();
+
     const PageNum vpn = pageNumber(vaddr, size);
     const CoreTlbResult tlb = coreTlbs->lookup(vpn, size, vm, pid);
     result.cycles = tlb.cycles;
     result.level = tlb.level;
 
     if (tlb.level != TlbLevel::Miss) {
-        if (tlb.level == TlbLevel::L1)
+        if (tlb.level == TlbLevel::L1) {
             ++l1Hits;
-        else
+            result.servedBy = ServicePoint::SramL1;
+        } else {
             ++l2Hits;
+            result.servedBy = ServicePoint::SramL2;
+        }
         result.hpa = (tlb.pfn << pageShift(size)) |
                      pageOffset(vaddr, size);
         translationCycles.increment(result.cycles);
+        sramCycles.increment(result.cycles);
+        if (traced) {
+            TranslationEvent event;
+            event.seq = tracer->seenCount() - 1;
+            event.core = coreId;
+            event.vaddr = vaddr;
+            event.size = size;
+            event.vm = vm;
+            event.pid = pid;
+            event.start = now;
+            event.cycles = result.cycles;
+            event.sramCycles = result.cycles;
+            event.tlbLevel = tlb.level;
+            event.servedBy = result.servedBy;
+            tracer->record(event);
+        }
         return result;
     }
 
@@ -63,12 +95,37 @@ Mmu::translate(Addr vaddr, PageSize size, VmId vm, ProcessId pid,
     result.hpa =
         (scheme.pfn << pageShift(size)) | pageOffset(vaddr, size);
     result.walked = scheme.walked;
+    result.servedBy = scheme.servedBy;
 
     coreTlbs->insert(vpn, size, vm, pid, scheme.pfn);
 
     translationCycles.increment(result.cycles);
+    sramCycles.increment(tlb.cycles);
+    schemeCycles.increment(scheme.cycles);
     missPenalty.sample(static_cast<double>(scheme.cycles));
-    penaltyHist.sample(scheme.cycles);
+    if (StatsRegistry::detail()) {
+        penaltyHist.sample(scheme.cycles);
+        penaltyCycleHist.sample(scheme.cycles);
+    }
+    if (traced) {
+        TranslationEvent event;
+        event.seq = tracer->seenCount() - 1;
+        event.core = coreId;
+        event.vaddr = vaddr;
+        event.size = size;
+        event.vm = vm;
+        event.pid = pid;
+        event.start = now;
+        event.cycles = result.cycles;
+        event.sramCycles = tlb.cycles;
+        event.schemeCycles = scheme.cycles;
+        event.tlbLevel = TlbLevel::Miss;
+        event.servedBy = scheme.servedBy;
+        event.probes = scheme.probes;
+        event.firstTryServed = scheme.firstTryServed;
+        event.walked = scheme.walked;
+        tracer->record(event);
+    }
     return result;
 }
 
@@ -86,8 +143,11 @@ Mmu::resetStats()
     l2Hits.reset();
     l2Misses.reset();
     translationCycles.reset();
+    sramCycles.reset();
+    schemeCycles.reset();
     missPenalty.reset();
     penaltyHist.reset();
+    penaltyCycleHist.reset();
     coreTlbs->resetStats();
 }
 

@@ -19,6 +19,8 @@
 namespace pomtlb
 {
 
+class TranslationTracer;
+
 /** Result of translating one reference. */
 struct MmuResult
 {
@@ -28,6 +30,8 @@ struct MmuResult
     HostPhysAddr hpa = 0;
     /** Which private TLB level hit (Miss = scheme resolved it). */
     TlbLevel level = TlbLevel::Miss;
+    /** The structure that finally produced the translation. */
+    ServicePoint servedBy = ServicePoint::SramL1;
     /** Whether a full page walk happened. */
     bool walked = false;
 };
@@ -51,20 +55,47 @@ class Mmu
     /** VM-wide shootdown of this core's private TLBs. */
     void invalidateVm(VmId vm);
 
+    /**
+     * Attach (or detach with nullptr) a translation tracer; every
+     * translation then consults its 1-in-N sampler. The tracer must
+     * outlive the MMU or be detached first.
+     */
+    void setTracer(TranslationTracer *t) { tracer = t; }
+
+    /** This core's private SRAM TLB stack. */
     CoreTlbs &tlbs() { return *coreTlbs; }
+    /** This core's private SRAM TLB stack (read-only). */
     const CoreTlbs &tlbs() const { return *coreTlbs; }
 
+    /** References translated since the stats reset. */
     std::uint64_t translationCount() const
     {
         return translations.value();
     }
+    /** Translations the L1 TLBs served. */
     std::uint64_t l1HitCount() const { return l1Hits.value(); }
+    /** Translations the private L2 TLB served. */
     std::uint64_t l2HitCount() const { return l2Hits.value(); }
+    /** Translations that missed every private SRAM level. */
     std::uint64_t lastLevelMissCount() const { return l2Misses.value(); }
     /** Sum of post-L1 translation cycles (the T_post of DESIGN.md). */
     std::uint64_t totalTranslationCycles() const
     {
         return translationCycles.value();
+    }
+    /**
+     * Cycles charged by the SRAM TLB levels alone. The invariant
+     * totalTranslationCycles() == totalSramCycles() +
+     * totalSchemeCycles() holds exactly and is asserted in tests.
+     */
+    std::uint64_t totalSramCycles() const
+    {
+        return sramCycles.value();
+    }
+    /** Cycles charged by the translation scheme alone. */
+    std::uint64_t totalSchemeCycles() const
+    {
+        return schemeCycles.value();
     }
     /** Average scheme cycles per last-level TLB miss (the paper's P). */
     double avgPenaltyPerMiss() const { return missPenalty.mean(); }
@@ -72,23 +103,37 @@ class Mmu
     /** Distribution of per-miss penalties (32-cycle buckets). */
     const Histogram &penaltyHistogram() const { return penaltyHist; }
 
+    /** Log2-bucketed distribution of per-miss penalties. */
+    const Log2Histogram &penaltyCycleHistogram() const
+    {
+        return penaltyCycleHist;
+    }
+
     /** This core's MMU statistics group. */
     const StatGroup &stats() const { return statGroup; }
 
+    /** Zero every MMU and private-TLB statistic. */
     void resetStats();
 
   private:
     CoreId coreId;
     TranslationScheme &translationScheme;
     std::unique_ptr<CoreTlbs> coreTlbs;
+    /** Optional sampled event trace sink (not owned). */
+    TranslationTracer *tracer = nullptr;
 
     Counter translations;
     Counter l1Hits;
     Counter l2Hits;
     Counter l2Misses;
     Counter translationCycles;
+    /** SRAM-TLB share of translationCycles (exact split). */
+    Counter sramCycles;
+    /** Scheme share of translationCycles (exact split). */
+    Counter schemeCycles;
     Average missPenalty;
     Histogram penaltyHist{32, 32};
+    Log2Histogram penaltyCycleHist;
     StatGroup statGroup;
 };
 

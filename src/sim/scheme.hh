@@ -14,12 +14,15 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace pomtlb
 {
+
+class StatGroup;
 
 /** Which scheme a Machine should be built with. */
 enum class SchemeKind : std::uint8_t
@@ -48,6 +51,45 @@ const std::vector<SchemeKind> &allSchemeKinds();
  */
 std::optional<SchemeKind> schemeKindFromName(const std::string &name);
 
+/**
+ * Where one translation was finally served from, across every scheme
+ * and TLB level — the serving-level axis of the observability layer
+ * (trace events and the `cycle_breakdown` of `pomtlb-stats-v1`).
+ */
+enum class ServicePoint : std::uint8_t
+{
+    /** Private L1 SRAM TLB hit (never reaches a scheme). */
+    SramL1 = 0,
+    /** Private L2 SRAM TLB hit (never reaches a scheme). */
+    SramL2 = 1,
+    /** POM-TLB set line found in the core's L2 data cache. */
+    CacheL2D = 2,
+    /** POM-TLB set line found in the shared L3 data cache. */
+    CacheL3D = 3,
+    /** POM-TLB entry fetched from the die-stacked DRAM partition. */
+    PomDram = 4,
+    /** Shared SRAM L2 TLB hit (the Shared_L2 baseline). */
+    SharedTlb = 5,
+    /** TSB software-buffer hit (the TSB baseline). */
+    TsbBuffer = 6,
+    /** Full page walk (any scheme's fallback, and the baseline). */
+    PageWalk = 7,
+};
+
+/** Stable snake_case name of @p point, as emitted in JSON. */
+const char *servicePointName(ServicePoint point);
+
+/** Every ServicePoint, in enum order. */
+const std::vector<ServicePoint> &allServicePoints();
+
+/**
+ * Parse a servicePointName() string back to its ServicePoint (used
+ * when reading `cycle_breakdown` objects). Empty optional on anything
+ * else.
+ */
+std::optional<ServicePoint>
+servicePointFromName(const std::string &name);
+
 /** What a scheme reports back for one post-L2-TLB-miss translation. */
 struct SchemeResult
 {
@@ -57,6 +99,16 @@ struct SchemeResult
     PageNum pfn = 0;
     /** Whether a full page walk ended up being required. */
     bool walked = false;
+    /** Which structure finally produced the translation. */
+    ServicePoint servedBy = ServicePoint::PageWalk;
+    /** Structure probes performed before the translation resolved. */
+    std::uint8_t probes = 0;
+    /**
+     * Whether the scheme's first-guess path (e.g. the POM-TLB size
+     * predictor) was the one that resolved the translation. Always
+     * true for schemes without a prediction step.
+     */
+    bool firstTryServed = true;
 };
 
 /** Interface every translation scheme implements. */
@@ -121,7 +173,28 @@ class TranslationScheme
     /** VM-wide shootdown of any scheme-held translation state. */
     virtual void invalidateVm(VmId vm) = 0;
 
+    /** Zero every statistic (warmup boundary). */
     virtual void resetStats() = 0;
+
+    /**
+     * The scheme's statistics tree, registered into the machine's
+     * StatsRegistry; null for schemes that keep no statistics.
+     */
+    virtual const StatGroup *statistics() const { return nullptr; }
+
+    /**
+     * Post-SRAM translation cycles attributed to each serving level,
+     * as (ServicePoint, total cycles) pairs. The pair values sum
+     * exactly to every cycle this scheme has charged through
+     * translateMiss() since the last resetStats() — the invariant
+     * behind the `cycle_breakdown` consistency check of
+     * `pomtlb-stats-v1` (tests/test_stats_export.cc).
+     */
+    virtual std::vector<std::pair<ServicePoint, std::uint64_t>>
+    cycleBreakdown() const
+    {
+        return {};
+    }
 };
 
 } // namespace pomtlb

@@ -146,6 +146,12 @@ runExperiment(const ExperimentRequest &request)
     summary.translationCycles = summary.run.totalTranslationCycles();
     summary.avgPenaltyPerMiss = summary.run.avgPenaltyPerMiss();
     summary.walkFraction = summary.run.walkFraction();
+    for (unsigned core = 0; core < machine.numCores(); ++core) {
+        summary.sramCycles += machine.mmu(core).totalSramCycles();
+        summary.schemeCycles +=
+            machine.mmu(core).totalSchemeCycles();
+    }
+    summary.cycleBreakdown = machine.scheme().cycleBreakdown();
     summary.l3DataHitRate =
         machine.hierarchy().l3d().hitRate(LineKind::Data);
 
@@ -349,6 +355,12 @@ summaryToJson(const SchemeRunSummary &summary)
 {
     JsonValue object = JsonValue::object();
     object.set("translation_cycles", summary.translationCycles);
+    object.set("sram_cycles", summary.sramCycles);
+    object.set("scheme_cycles", summary.schemeCycles);
+    JsonValue breakdown = JsonValue::object();
+    for (const auto &[point, cycles] : summary.cycleBreakdown)
+        breakdown.set(servicePointName(point), cycles);
+    object.set("cycle_breakdown", std::move(breakdown));
     object.set("avg_penalty_per_miss", summary.avgPenaltyPerMiss);
     object.set("walk_fraction", summary.walkFraction);
     object.set("refs", summary.run.totalRefs());
@@ -464,6 +476,24 @@ SweepResultWriter::fromJson(const JsonValue &document)
         out.mode = result.request.config.system.mode;
         out.translationCycles =
             summary.at("translation_cycles").asUint();
+        // Optional so pre-observability documents still load.
+        if (summary.has("sram_cycles"))
+            out.sramCycles = summary.at("sram_cycles").asUint();
+        if (summary.has("scheme_cycles"))
+            out.schemeCycles = summary.at("scheme_cycles").asUint();
+        if (summary.has("cycle_breakdown")) {
+            for (const auto &[name, cycles] :
+                 summary.at("cycle_breakdown").members()) {
+                const auto point = servicePointFromName(name);
+                if (!point) {
+                    throw std::invalid_argument(
+                        "unknown service point in sweep document: " +
+                        name);
+                }
+                out.cycleBreakdown.emplace_back(*point,
+                                                cycles.asUint());
+            }
+        }
         // The JSON stores machine-wide totals, not the per-core
         // breakdown; reconstruct them as one aggregate pseudo-core
         // so RunResult's total*() accessors (and a re-serialisation)

@@ -48,9 +48,9 @@ namespace pomtlb
  */
 struct ExperimentRequest
 {
-    std::string benchmark;
-    SchemeKind scheme = SchemeKind::NestedWalk;
-    ExperimentConfig config;
+    std::string benchmark; /**< Workload-model name ("mcf", ...). */
+    SchemeKind scheme = SchemeKind::NestedWalk; /**< Scheme to run. */
+    ExperimentConfig config; /**< Fully resolved configuration. */
     /** Variant tag for reports ("" when the sweep has no variants). */
     std::string label;
     /** Attach per-component StatGroup output to the result. */
@@ -62,15 +62,24 @@ struct ExperimentRequest
        ExperimentConfig base = ExperimentConfig{});
 
     // Fluent overrides (each returns *this for chaining).
+    /** Set the variant tag. */
     ExperimentRequest &withLabel(std::string value);
+    /** Override the simulated core count. */
     ExperimentRequest &withCores(unsigned cores);
+    /** Override native/virtualized execution mode. */
     ExperimentRequest &withMode(ExecMode mode);
+    /** Override measured and warmup references per core. */
     ExperimentRequest &withRefs(std::uint64_t refs_per_core,
                                 std::uint64_t warmup_refs_per_core);
+    /** Override the RNG seed every stream forks from. */
     ExperimentRequest &withSeed(std::uint64_t seed);
+    /** Override the POM-TLB capacity, in megabytes. */
     ExperimentRequest &withPomCapacityMb(std::uint64_t mb);
+    /** Replace the whole system configuration. */
     ExperimentRequest &withSystem(const SystemConfig &system);
+    /** Replace the whole engine configuration. */
     ExperimentRequest &withEngine(const EngineConfig &engine);
+    /** Request per-component stats in the result. */
     ExperimentRequest &withComponentStats(bool enabled = true);
     /** Escape hatch: arbitrary in-place config adjustment. */
     ExperimentRequest &
@@ -83,8 +92,8 @@ struct ExperimentRequest
 /** The outcome of one ExperimentRequest. */
 struct ExperimentResult
 {
-    ExperimentRequest request;
-    SchemeRunSummary summary;
+    ExperimentRequest request; /**< The request that produced this. */
+    SchemeRunSummary summary;  /**< Scheme-level run summary. */
     /**
      * Per-component statistics (StatGroup::collect over the whole
      * machine); empty unless the request asked for them.
@@ -114,31 +123,40 @@ class SweepSpec
     /** Named configuration override applied on top of the base. */
     struct Variant
     {
-        std::string label;
-        std::function<void(ExperimentConfig &)> apply;
+        std::string label; /**< Tag appended to each request key. */
+        std::function<void(ExperimentConfig &)> apply; /**< Override. */
     };
 
+    /** Set the base configuration every request starts from. */
     SweepSpec &withBase(ExperimentConfig config);
+    /** Set the benchmark axis. */
     SweepSpec &withBenchmarks(std::vector<std::string> names);
     /** All fifteen Table 2 workloads. */
     SweepSpec &withAllBenchmarks();
+    /** Set the scheme axis. */
     SweepSpec &withSchemes(std::vector<SchemeKind> kinds);
     /** All four schemes, Figure 8 order. */
     SweepSpec &withAllSchemes();
+    /** Add one labelled config variant to the variant axis. */
     SweepSpec &withVariant(
         std::string label,
         std::function<void(ExperimentConfig &)> apply);
+    /** Request per-component stats on every expanded request. */
     SweepSpec &withComponentStats(bool enabled = true);
 
+    /** The base configuration. */
     const ExperimentConfig &base() const { return baseConfig; }
+    /** The benchmark axis. */
     const std::vector<std::string> &benchmarks() const
     {
         return benchmarkNames;
     }
+    /** The scheme axis. */
     const std::vector<SchemeKind> &schemes() const
     {
         return schemeKinds;
     }
+    /** The variant axis. */
     const std::vector<Variant> &variants() const
     {
         return configVariants;
@@ -183,9 +201,11 @@ class SweepRunner
     /** The resolved worker count (never 0). */
     unsigned jobs() const { return workerCount; }
 
+    /** Run every request; results land in request order. */
     std::vector<ExperimentResult>
     run(const std::vector<ExperimentRequest> &requests) const;
 
+    /** Expand a spec and run it. */
     std::vector<ExperimentResult> run(const SweepSpec &spec) const
     {
         return run(spec.expand());
@@ -211,6 +231,7 @@ class SweepRunner
 class SweepResultWriter
 {
   public:
+    /** Build the `pomtlb-sweep-v1` document for @p results. */
     static JsonValue
     toJson(const std::vector<ExperimentResult> &results);
 

@@ -1,0 +1,111 @@
+#include "sim/translation_trace.hh"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace pomtlb
+{
+
+namespace
+{
+
+/** TlbLevel as a stable trace-field string. */
+const char *
+tlbLevelName(TlbLevel level)
+{
+    switch (level) {
+      case TlbLevel::L1:
+        return "l1";
+      case TlbLevel::L2:
+        return "l2";
+      case TlbLevel::Miss:
+        return "miss";
+    }
+    return "?";
+}
+
+} // namespace
+
+TranslationTracer::TranslationTracer(std::size_t capacity,
+                                     std::uint64_t sample_interval)
+    : ring(capacity == 0 ? 1 : capacity),
+      interval(sample_interval == 0 ? defaultSampleInterval()
+                                    : sample_interval)
+{
+}
+
+void
+TranslationTracer::record(const TranslationEvent &event)
+{
+    ring[head] = event;
+    head = (head + 1) % ring.size();
+    if (held < ring.size())
+        ++held;
+    ++recorded;
+}
+
+std::size_t
+TranslationTracer::size() const
+{
+    return held;
+}
+
+std::vector<TranslationEvent>
+TranslationTracer::events() const
+{
+    std::vector<TranslationEvent> out;
+    out.reserve(held);
+    // Oldest event sits at head when wrapped, at 0 otherwise.
+    const std::size_t start = held == ring.size() ? head : 0;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    return out;
+}
+
+void
+TranslationTracer::writeJsonl(std::ostream &os) const
+{
+    for (const TranslationEvent &e : events()) {
+        os << "{\"seq\":" << e.seq
+           << ",\"core\":" << e.core
+           << ",\"vaddr\":" << e.vaddr
+           << ",\"page_size\":\"" << pageSizeName(e.size) << "\""
+           << ",\"vm\":" << e.vm
+           << ",\"pid\":" << e.pid
+           << ",\"start_cycle\":" << e.start
+           << ",\"cycles\":" << e.cycles
+           << ",\"sram_cycles\":" << e.sramCycles
+           << ",\"scheme_cycles\":" << e.schemeCycles
+           << ",\"tlb_level\":\"" << tlbLevelName(e.tlbLevel) << "\""
+           << ",\"served_by\":\"" << servicePointName(e.servedBy)
+           << "\""
+           << ",\"probes\":" << static_cast<unsigned>(e.probes)
+           << ",\"first_try\":" << (e.firstTryServed ? "true" : "false")
+           << ",\"walked\":" << (e.walked ? "true" : "false")
+           << "}\n";
+    }
+}
+
+void
+TranslationTracer::reset()
+{
+    head = 0;
+    held = 0;
+    seen = 0;
+    recorded = 0;
+}
+
+std::uint64_t
+TranslationTracer::defaultSampleInterval()
+{
+    if (const char *env = std::getenv("POMTLB_TRACE_SAMPLE")) {
+        const long long parsed = std::atoll(env);
+        if (parsed > 0)
+            return static_cast<std::uint64_t>(parsed);
+    }
+    return 64;
+}
+
+} // namespace pomtlb

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The optional per-event translation trace behind `--trace-out`.
+ *
+ * A TranslationTracer samples one in every N translations (N from
+ * POMTLB_TRACE_SAMPLE, default 64) into a fixed-capacity ring buffer
+ * of TranslationEvent records; when the buffer is full the oldest
+ * events are overwritten, so a dump always holds the *latest*
+ * window. Each record captures the full lifecycle of one translation:
+ * which SRAM TLB level (if any) hit, the scheme's probe sequence
+ * length, the predictor outcome (first-try service), the final
+ * serving point, and the cycle split between the SRAM levels and the
+ * scheme. Dumps are JSONL — one compact JSON object per line — so
+ * they stream into jq / pandas without a parser step.
+ *
+ * Tracing is off unless a tracer is attached (Machine::enableTracing);
+ * the disabled hot-path cost is one null-pointer test per
+ * translation.
+ */
+
+#ifndef POMTLB_SIM_TRANSLATION_TRACE_HH
+#define POMTLB_SIM_TRANSLATION_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/scheme.hh"
+#include "tlb/core_tlbs.hh"
+
+namespace pomtlb
+{
+
+/** One sampled translation's full lifecycle. */
+struct TranslationEvent
+{
+    /** Ordinal of this translation among all seen (pre-sampling). */
+    std::uint64_t seq = 0;
+    /** Core that issued the reference. */
+    CoreId core = 0;
+    /** Guest-virtual address translated. */
+    Addr vaddr = 0;
+    /** Page size of the translated page. */
+    PageSize size = PageSize::Small4K;
+    /** VM the reference ran in. */
+    VmId vm = 0;
+    /** Guest process id. */
+    ProcessId pid = 0;
+    /** Absolute cycle the translation began. */
+    Cycles start = 0;
+    /** Total translation cycles beyond an L1 TLB hit. */
+    Cycles cycles = 0;
+    /** Cycles spent in the SRAM TLB levels. */
+    Cycles sramCycles = 0;
+    /** Cycles spent in the scheme (0 when an SRAM level hit). */
+    Cycles schemeCycles = 0;
+    /** Which private SRAM TLB level hit (Miss = scheme resolved it). */
+    TlbLevel tlbLevel = TlbLevel::Miss;
+    /** The structure that finally produced the translation. */
+    ServicePoint servedBy = ServicePoint::SramL1;
+    /** Scheme probes issued (0 when an SRAM level hit). */
+    std::uint8_t probes = 0;
+    /** Whether the first probe target (predicted path) served it. */
+    bool firstTryServed = true;
+    /** Whether a full page walk happened. */
+    bool walked = false;
+};
+
+/** A sampling ring buffer of TranslationEvent records. */
+class TranslationTracer
+{
+  public:
+    /**
+     * @param capacity        Ring capacity in events (oldest events
+     *                        are overwritten once exceeded).
+     * @param sample_interval Record one in every N translations;
+     *                        0 picks defaultSampleInterval().
+     */
+    explicit TranslationTracer(std::size_t capacity = 4096,
+                               std::uint64_t sample_interval = 0);
+
+    /**
+     * Sampling decision for the next translation. Increments the
+     * seen-counter and returns true when this translation should be
+     * recorded (every sampleInterval()-th one, starting with the
+     * first).
+     */
+    bool
+    shouldSample()
+    {
+        return (seen++ % interval) == 0;
+    }
+
+    /** Append one sampled event (overwrites the oldest when full). */
+    void record(const TranslationEvent &event);
+
+    /** Ring capacity in events. */
+    std::size_t capacity() const { return ring.size(); }
+    /** Events currently held (<= capacity). */
+    std::size_t size() const;
+    /** Translations observed by shouldSample() since reset. */
+    std::uint64_t seenCount() const { return seen; }
+    /** Events recorded since reset (>= size() once wrapped). */
+    std::uint64_t recordedCount() const { return recorded; }
+    /** Configured 1-in-N sampling interval. */
+    std::uint64_t sampleInterval() const { return interval; }
+
+    /** The held events, oldest first. */
+    std::vector<TranslationEvent> events() const;
+
+    /**
+     * Write the held events as JSONL (one compact object per line,
+     * oldest first). Field names match docs/metrics.md's trace
+     * record schema.
+     */
+    void writeJsonl(std::ostream &os) const;
+
+    /** Drop all events and zero the counters. */
+    void reset();
+
+    /** The POMTLB_TRACE_SAMPLE environment knob (default 64). */
+    static std::uint64_t defaultSampleInterval();
+
+  private:
+    std::vector<TranslationEvent> ring;
+    std::size_t head = 0;     ///< Next slot to write.
+    std::size_t held = 0;     ///< Valid events in the ring.
+    std::uint64_t seen = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t interval = 64;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_TRANSLATION_TRACE_HH

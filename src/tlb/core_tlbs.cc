@@ -10,15 +10,19 @@ CoreTlbs::CoreTlbs(const SystemConfig &config, CoreId core,
     : l1MissPenalty(config.l1TlbSmall.missPenalty),
       l2MissPenalty(config.l2Tlb.missPenalty)
 {
+    // Group names carry no core suffix: each stack's groups are
+    // attached as children of the owning MMU's "mmu.<core>" group,
+    // which provides the per-core path segment.
+    (void)core;
     TlbConfig small = config.l1TlbSmall;
-    small.name = "l1tlb4k." + std::to_string(core);
+    small.name = "l1tlb4k";
     TlbConfig large = config.l1TlbLarge;
-    large.name = "l1tlb2m." + std::to_string(core);
+    large.name = "l1tlb2m";
     l1Small = std::make_unique<SetAssocTlb>(small);
     l1Large = std::make_unique<SetAssocTlb>(large);
     if (private_l2) {
         TlbConfig unified = config.l2Tlb;
-        unified.name = "l2tlb." + std::to_string(core);
+        unified.name = "l2tlb";
         l2 = std::make_unique<SetAssocTlb>(unified);
     }
 }

@@ -55,6 +55,15 @@ expectIdentical(const SchemeRunSummary &a, const SchemeRunSummary &b)
     EXPECT_EQ(a.scheme, b.scheme);
     EXPECT_EQ(a.mode, b.mode);
     EXPECT_EQ(a.translationCycles, b.translationCycles);
+    EXPECT_EQ(a.sramCycles, b.sramCycles);
+    EXPECT_EQ(a.schemeCycles, b.schemeCycles);
+    ASSERT_EQ(a.cycleBreakdown.size(), b.cycleBreakdown.size());
+    for (std::size_t i = 0; i < a.cycleBreakdown.size(); ++i) {
+        EXPECT_EQ(a.cycleBreakdown[i].first,
+                  b.cycleBreakdown[i].first);
+        EXPECT_EQ(a.cycleBreakdown[i].second,
+                  b.cycleBreakdown[i].second);
+    }
     // Doubles compared with EXPECT_EQ on purpose: parallel execution
     // must be *bit-identical* to serial, not merely close.
     EXPECT_EQ(a.avgPenaltyPerMiss, b.avgPenaltyPerMiss);
@@ -253,6 +262,42 @@ TEST(Sweep, ComponentStatsAttachOnRequest)
     EXPECT_GE(without_stats.wallSeconds, 0.0);
 }
 
+/**
+ * Per-job stats isolation: every worker thread builds its own
+ * Machine and therefore its own StatsRegistry, so concurrent jobs
+ * must never bleed counters into each other. Eight identical jobs
+ * run on four workers must each report exactly the stats a lone
+ * serial run reports. This test is also compiled into the focused
+ * `pomtlb_sweep_tests` binary so CI exercises it under TSan.
+ */
+TEST(Sweep, ComponentStatsIsolatedAcrossWorkerThreads)
+{
+    const ExperimentRequest request =
+        ExperimentRequest::of("gups", SchemeKind::PomTlb,
+                              tinyConfig())
+            .withComponentStats();
+    const ExperimentResult serial = runExperiment(request);
+    ASSERT_GT(serial.componentStats.size(), 10u);
+
+    std::vector<ExperimentRequest> requests(8, request);
+    const std::vector<ExperimentResult> parallel_results =
+        SweepRunner(4).run(requests);
+    ASSERT_EQ(parallel_results.size(), requests.size());
+    for (const ExperimentResult &result : parallel_results) {
+        ASSERT_EQ(result.componentStats.size(),
+                  serial.componentStats.size());
+        for (std::size_t s = 0; s < serial.componentStats.size();
+             ++s) {
+            EXPECT_EQ(result.componentStats[s].first,
+                      serial.componentStats[s].first);
+            EXPECT_EQ(result.componentStats[s].second,
+                      serial.componentStats[s].second)
+                << serial.componentStats[s].first;
+        }
+        expectIdentical(result.summary, serial.summary);
+    }
+}
+
 TEST(Sweep, JsonRoundTrip)
 {
     const std::vector<ExperimentResult> results = SweepRunner(2).run(
@@ -281,6 +326,20 @@ TEST(Sweep, JsonRoundTrip)
                   b.request.config.engine.seed);
         EXPECT_EQ(a.summary.translationCycles,
                   b.summary.translationCycles);
+        EXPECT_EQ(a.summary.sramCycles, b.summary.sramCycles);
+        EXPECT_EQ(a.summary.schemeCycles, b.summary.schemeCycles);
+        // The exact-consistency invariant survives serialisation.
+        EXPECT_EQ(b.summary.sramCycles + b.summary.schemeCycles,
+                  b.summary.translationCycles);
+        ASSERT_EQ(a.summary.cycleBreakdown.size(),
+                  b.summary.cycleBreakdown.size());
+        for (std::size_t s = 0; s < a.summary.cycleBreakdown.size();
+             ++s) {
+            EXPECT_EQ(a.summary.cycleBreakdown[s].first,
+                      b.summary.cycleBreakdown[s].first);
+            EXPECT_EQ(a.summary.cycleBreakdown[s].second,
+                      b.summary.cycleBreakdown[s].second);
+        }
         EXPECT_EQ(a.summary.avgPenaltyPerMiss,
                   b.summary.avgPenaltyPerMiss);
         EXPECT_EQ(a.summary.walkFraction, b.summary.walkFraction);

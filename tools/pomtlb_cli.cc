@@ -38,7 +38,15 @@
  *   --prefetch                 prefetch the adjacent page's set line
  *   --tlb-aware                TLB-aware cache replacement (S 5.1)
  *   --shootdown-interval N     inject a TLB shootdown every N refs
- *   --stats                    dump per-component statistics
+ *   --stats                    dump the pomtlb-stats-v1 document
+ *                              (run) / embed per-component stats
+ *                              (sweep)
+ *   --stats-out FILE           write the pomtlb-stats-v1 JSON
+ *                              document to FILE (run only)
+ *   --trace-out FILE           enable the sampled translation trace
+ *                              and write it to FILE as JSONL
+ *                              (run only; POMTLB_TRACE_SAMPLE sets
+ *                              the 1-in-N interval, default 64)
  *
  * record-trace options:
  *   --benchmark NAME --core N --count N --out FILE
@@ -59,11 +67,14 @@
 #include <vector>
 
 #include "analysis/report.hh"
+#include "common/json.hh"
 #include "sim/experiment.hh"
 #include "sim/engine.hh"
 #include "sim/machine.hh"
 #include "sim/perf_model.hh"
+#include "sim/stats_export.hh"
 #include "sim/sweep.hh"
+#include "sim/translation_trace.hh"
 #include "trace/generator.hh"
 #include "trace/source.hh"
 #include "trace/trace_file.hh"
@@ -91,6 +102,8 @@ struct CliOptions
     bool tlbAware = false;
     std::uint64_t shootdownInterval = 0;
     bool dumpStats = false;
+    std::string statsOutPath;
+    std::string traceOutPath;
 
     // record-trace
     unsigned core = 0;
@@ -177,6 +190,10 @@ parseOptions(int argc, char **argv, int first)
             options.shootdownInterval = parseNumber(next());
         else if (arg == "--stats")
             options.dumpStats = true;
+        else if (arg == "--stats-out")
+            options.statsOutPath = next();
+        else if (arg == "--trace-out")
+            options.traceOutPath = next();
         else if (arg == "--core")
             options.core = static_cast<unsigned>(parseNumber(next()));
         else if (arg == "--count")
@@ -321,6 +338,8 @@ commandRun(const CliOptions &options)
     const SchemeKind kind = schemeFromName(options.scheme);
 
     Machine machine(config.system, kind);
+    if (!options.traceOutPath.empty())
+        machine.enableTracing();
     SimulationEngine engine(machine, profile, config.engine);
     const RunResult result = engine.run();
 
@@ -356,9 +375,41 @@ commandRun(const CliOptions &options)
                     100.0 *
                         machine.pomTlbDevice()->rowBufferHitRate());
     }
-    if (options.dumpStats) {
-        std::printf("\n-- component statistics --\n");
-        machine.dumpStats(std::cout);
+    if (options.dumpStats || !options.statsOutPath.empty()) {
+        const JsonValue document =
+            buildStatsDocument(machine, result, profile.name);
+        if (options.dumpStats) {
+            std::printf("\n");
+            document.write(std::cout);
+            std::printf("\n");
+        }
+        if (!options.statsOutPath.empty()) {
+            std::ofstream out(options.statsOutPath);
+            if (!out) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             options.statsOutPath.c_str());
+                return 1;
+            }
+            document.write(out);
+            out << "\n";
+            std::printf("wrote %s document to %s\n", kStatsSchemaV1,
+                        options.statsOutPath.c_str());
+        }
+    }
+    if (!options.traceOutPath.empty()) {
+        std::ofstream out(options.traceOutPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         options.traceOutPath.c_str());
+            return 1;
+        }
+        machine.tracer()->writeJsonl(out);
+        std::printf("wrote %zu trace events (1-in-%llu sampling) "
+                    "to %s\n",
+                    machine.tracer()->size(),
+                    static_cast<unsigned long long>(
+                        machine.tracer()->sampleInterval()),
+                    options.traceOutPath.c_str());
     }
     return 0;
 }
