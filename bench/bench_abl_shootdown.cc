@@ -31,7 +31,7 @@ penaltyAtInterval(const BenchmarkProfile &profile,
     config.engine.shootdownIntervalRefs = interval;
     Machine machine(config.system, SchemeKind::PomTlb);
     SimulationEngine engine(machine, profile, config.engine);
-    return engine.run().avgPenaltyPerMiss();
+    return engine.run().totals().avgPenaltyPerMiss;
 }
 
 void

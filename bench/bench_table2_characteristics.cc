@@ -47,14 +47,10 @@ runTable2(::benchmark::State &state, const BenchmarkProfile &profile)
             100.0 * static_cast<double>(large) /
             static_cast<double>(regions);
 
+        const RunTotals &totals = virt.run.totals();
         const double mpki =
-            1000.0 * virt.run.totalLastLevelMisses() /
-            static_cast<double>([&] {
-                InstCount total = 0;
-                for (const auto &core : virt.run.cores)
-                    total += core.instructions;
-                return total;
-            }());
+            1000.0 * static_cast<double>(totals.lastLevelMisses) /
+            static_cast<double>(totals.instructions);
 
         state.counters["cycles_per_miss"] = virt.avgPenaltyPerMiss;
         collector().record(

@@ -75,8 +75,8 @@ main()
         }
         std::printf("  machine-wide: %.1f cycles/miss, %.2f%% of "
                     "misses walked\n\n",
-                    result.avgPenaltyPerMiss(),
-                    100.0 * result.walkFraction());
+                    result.totals().avgPenaltyPerMiss,
+                    100.0 * result.totals().walkFraction);
     }
 
     std::printf("One 16 MB POM-TLB absorbs both tenants' translation "

@@ -51,7 +51,7 @@ main(int argc, char **argv)
     std::printf("\n-- baseline (nested walks) --\n");
     std::printf("L2 TLB misses   : %llu\n",
                 static_cast<unsigned long long>(
-                    baseline.run.totalLastLevelMisses()));
+                    baseline.run.totals().lastLevelMisses));
     std::printf("cycles per miss : %.1f\n",
                 baseline.avgPenaltyPerMiss);
 

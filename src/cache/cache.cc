@@ -14,12 +14,24 @@ SetAssocCache::SetAssocCache(const CacheConfig &config,
       ways(config.associativity),
       lineShift(floorLog2(config.lineBytes)),
       setBits(floorLog2(config.numSets())),
-      lines(config.numSets() * config.associativity),
-      policy(ReplacementPolicy::create(replacement, config.numSets(),
-                                       config.associativity, seed)),
+      tags(config.numSets() * config.associativity, invalidTag),
+      stamps(config.numSets() * config.associativity, 0),
+      meta(config.numSets() * config.associativity, 0),
       statGroup(config.name)
 {
     cacheConfig.validate();
+    simAssert(lineShift >= 1,
+              "line size must leave headroom for the invalid-tag "
+              "sentinel");
+    // The default LRU policy is inlined over the recency stamps (the
+    // stamps a plain LruPolicy would keep are updated at exactly the
+    // same points, so the victims match bit-for-bit); only the other
+    // policies pay for a polymorphic object.
+    if (replacement != ReplacementKind::Lru) {
+        policy = ReplacementPolicy::create(
+            replacement, config.numSets(), config.associativity,
+            seed);
+    }
     statGroup.addCounter("data_hits", dataHits);
     statGroup.addCounter("data_misses", dataMisses);
     statGroup.addCounter("tlb_hits", tlbHits);
@@ -31,7 +43,7 @@ SetAssocCache::SetAssocCache(const CacheConfig &config,
     statGroup.addDerived("hit_rate", [this] { return hitRate(); });
     statGroup.addDerived("tlb_line_occupancy", [this] {
         return static_cast<double>(tlbLines) /
-               static_cast<double>(lines.size());
+               static_cast<double>(tags.size());
     });
 }
 
@@ -53,48 +65,36 @@ SetAssocCache::lineAddr(std::uint64_t set, std::uint64_t tag) const
     return ((tag << setBits) | set) << lineShift;
 }
 
-SetAssocCache::Line *
-SetAssocCache::findLine(Addr addr, unsigned *way_out)
-{
-    const std::uint64_t set = setIndex(addr);
-    const std::uint64_t tag = tagOf(addr);
-    Line *base = &lines[set * ways];
-    for (unsigned way = 0; way < ways; ++way) {
-        if (base[way].valid && base[way].tag == tag) {
-            if (way_out)
-                *way_out = way;
-            return &base[way];
-        }
-    }
-    return nullptr;
-}
-
-const SetAssocCache::Line *
+std::int64_t
 SetAssocCache::findLine(Addr addr) const
 {
-    const std::uint64_t set = setIndex(addr);
     const std::uint64_t tag = tagOf(addr);
-    const Line *base = &lines[set * ways];
+    const std::uint64_t base = setIndex(addr) * ways;
+    // One compare per way over a contiguous 64-bit array: invalid
+    // ways hold the sentinel, which never equals a real tag.
+    const std::uint64_t *set_tags = tags.data() + base;
     for (unsigned way = 0; way < ways; ++way) {
-        if (base[way].valid && base[way].tag == tag)
-            return &base[way];
+        if (set_tags[way] == tag)
+            return static_cast<std::int64_t>(base + way);
     }
-    return nullptr;
+    return -1;
 }
 
 CacheLookupResult
 SetAssocCache::lookup(Addr addr, AccessType type, LineKind probe_kind)
 {
     CacheLookupResult result;
-    unsigned way = 0;
-    Line *line = findLine(addr, &way);
-    if (line) {
+    const std::int64_t index = findLine(addr);
+    if (index >= 0) {
         result.hit = true;
-        result.kind = line->kind;
+        result.kind = kindOf(meta[index]);
         if (type == AccessType::Write)
-            line->dirty = true;
-        line->stamp = ++recencyClock;
-        policy->touch(setIndex(addr), way);
+            meta[index] |= metaDirty;
+        stamps[index] = ++recencyClock;
+        if (policy) {
+            policy->touch(setIndex(addr),
+                          static_cast<unsigned>(index % ways));
+        }
         if (probe_kind == LineKind::Data)
             ++dataHits;
         else
@@ -111,7 +111,7 @@ SetAssocCache::lookup(Addr addr, AccessType type, LineKind probe_kind)
 bool
 SetAssocCache::contains(Addr addr) const
 {
-    return findLine(addr) != nullptr;
+    return findLine(addr) >= 0;
 }
 
 CacheFillResult
@@ -120,94 +120,146 @@ SetAssocCache::fill(Addr addr, LineKind kind, bool dirty)
     CacheFillResult result;
     ++fills;
 
+    const std::uint64_t set = setIndex(addr);
+    const std::uint64_t base = set * ways;
+
+    // One pass over the set's tags finds the resident line (at most
+    // one way can match), the first free way, AND — for the default
+    // inline-LRU policy — the LRU victim, so the common steady-state
+    // fill (miss, set full) scans the set exactly once with no
+    // separate victimWay() pass. The running minimum is only consumed
+    // when no free way exists and no line matched, in which case the
+    // loop visited every way and the strict '<' comparison picks the
+    // lowest way among stamp ties — exactly victimWay()'s inline scan.
+    const bool inline_lru =
+        tlbPolicy == TlbLinePolicy::None && !policy;
+    const std::uint64_t tag = tagOf(addr);
+    std::int64_t resident = -1;
+    unsigned target = ways;
+    unsigned min_way = 0;
+    std::uint64_t min_stamp = ~std::uint64_t{0};
+    for (unsigned way = 0; way < ways; ++way) {
+        const std::uint64_t way_tag = tags[base + way];
+        if (way_tag == tag) {
+            resident = static_cast<std::int64_t>(base + way);
+            break;
+        }
+        if (target == ways && way_tag == invalidTag)
+            target = way;
+        if (inline_lru && stamps[base + way] < min_stamp) {
+            min_stamp = stamps[base + way];
+            min_way = way;
+        }
+    }
+
     // Refresh in place when the line is already resident (e.g. two
     // outstanding misses to the same line resolved back to back).
-    unsigned way = 0;
-    if (Line *line = findLine(addr, &way)) {
-        line->dirty = line->dirty || dirty;
-        if (line->kind != kind) {
+    if (resident >= 0) {
+        if (dirty)
+            meta[resident] |= metaDirty;
+        if (kindOf(meta[resident]) != kind) {
             tlbLines += (kind == LineKind::TlbEntry) ? 1 : -1;
-            line->kind = kind;
+            meta[resident] ^= metaTlb;
         }
-        line->stamp = ++recencyClock;
-        policy->touch(setIndex(addr), way);
+        stamps[resident] = ++recencyClock;
+        if (policy) {
+            policy->touch(set,
+                          static_cast<unsigned>(resident % ways));
+        }
         return result;
     }
 
-    const std::uint64_t set = setIndex(addr);
-    Line *base = &lines[set * ways];
-    unsigned target = ways;
-    for (unsigned w = 0; w < ways; ++w) {
-        if (!base[w].valid) {
-            target = w;
-            break;
-        }
-    }
     if (target == ways) {
-        target = victimWay(set, kind);
-        Line &victim = base[target];
+        target = inline_lru ? min_way : victimWay(set, kind);
+        const std::uint64_t victim = base + target;
         result.evicted = true;
-        result.victimAddr = lineAddr(set, victim.tag);
-        result.victimDirty = victim.dirty;
-        result.victimKind = victim.kind;
+        result.victimAddr = lineAddr(set, tags[victim]);
+        result.victimDirty = (meta[victim] & metaDirty) != 0;
+        result.victimKind = kindOf(meta[victim]);
         ++evictions;
-        if (victim.dirty)
+        if (result.victimDirty)
             ++writebacks;
-        if (victim.kind == LineKind::TlbEntry)
+        if (result.victimKind == LineKind::TlbEntry)
             --tlbLines;
         --validLines;
     }
 
-    Line &line = base[target];
-    line.valid = true;
-    line.dirty = dirty;
-    line.kind = kind;
-    line.tag = tagOf(addr);
-    line.stamp = ++recencyClock;
+    const std::uint64_t index = base + target;
+    tags[index] = tag;
+    meta[index] = (dirty ? metaDirty : 0) |
+                  (kind == LineKind::TlbEntry ? metaTlb : 0);
+    stamps[index] = ++recencyClock;
     ++validLines;
     if (kind == LineKind::TlbEntry)
         ++tlbLines;
-    policy->touch(set, target);
+    if (policy)
+        policy->touch(set, target);
     return result;
 }
 
 unsigned
 SetAssocCache::victimWay(std::uint64_t set, LineKind)
 {
-    if (tlbPolicy == TlbLinePolicy::None)
-        return policy->victim(set);
+    const std::uint64_t base = set * ways;
+
+    if (tlbPolicy == TlbLinePolicy::None) {
+        if (policy)
+            return policy->victim(set);
+        // Inline LRU: oldest stamp wins, lowest way on ties —
+        // exactly LruPolicy::victim over lockstep-updated stamps.
+        unsigned best = 0;
+        std::uint64_t best_stamp = stamps[base];
+        for (unsigned way = 1; way < ways; ++way) {
+            if (stamps[base + way] < best_stamp) {
+                best_stamp = stamps[base + way];
+                best = way;
+            }
+        }
+        return best;
+    }
 
     // Section 5.1: retain TLB lines — evict the least-recently-used
     // *data* line when one exists; fall back to overall LRU when the
     // set holds nothing but TLB lines.
-    const Line *base = &lines[set * ways];
     unsigned best = ways;
     std::uint64_t best_stamp = ~std::uint64_t{0};
     for (unsigned way = 0; way < ways; ++way) {
-        if (base[way].kind == LineKind::Data &&
-            base[way].stamp < best_stamp) {
-            best_stamp = base[way].stamp;
+        if (!(meta[base + way] & metaTlb) &&
+            stamps[base + way] < best_stamp) {
+            best_stamp = stamps[base + way];
             best = way;
         }
     }
     if (best != ways)
         return best;
-    return policy->victim(set);
+    if (policy)
+        return policy->victim(set);
+    best = 0;
+    best_stamp = stamps[base];
+    for (unsigned way = 1; way < ways; ++way) {
+        if (stamps[base + way] < best_stamp) {
+            best_stamp = stamps[base + way];
+            best = way;
+        }
+    }
+    return best;
 }
 
 bool
 SetAssocCache::invalidate(Addr addr)
 {
-    unsigned way = 0;
-    Line *line = findLine(addr, &way);
-    if (!line)
+    const std::int64_t index = findLine(addr);
+    if (index < 0)
         return false;
-    if (line->kind == LineKind::TlbEntry)
+    if (meta[index] & metaTlb)
         --tlbLines;
     --validLines;
-    line->valid = false;
-    line->dirty = false;
-    policy->invalidate(setIndex(addr), way);
+    tags[index] = invalidTag;
+    meta[index] = 0;
+    if (policy) {
+        policy->invalidate(setIndex(addr),
+                           static_cast<unsigned>(index % ways));
+    }
     ++invalidations;
     return true;
 }
@@ -216,11 +268,11 @@ std::uint64_t
 SetAssocCache::flush()
 {
     std::uint64_t dropped = 0;
-    for (auto &line : lines) {
-        if (line.valid) {
+    for (std::uint64_t index = 0; index < tags.size(); ++index) {
+        if (tags[index] != invalidTag) {
             ++dropped;
-            line.valid = false;
-            line.dirty = false;
+            tags[index] = invalidTag;
+            meta[index] = 0;
         }
     }
     tlbLines = 0;

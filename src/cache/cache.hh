@@ -6,6 +6,16 @@
  * hit/miss simulator). Each line remembers whether it holds a cached
  * POM-TLB entry, so the experiments can report how translation lines
  * and ordinary data compete for capacity (Sections 4.2 and 5.1).
+ *
+ * Hot-path layout: line state is stored structure-of-arrays — the tag
+ * probe (the operation every access performs) scans one contiguous
+ * 64-bit array per set instead of striding through a wide per-line
+ * struct, and validity is folded into the tag with a reserved
+ * sentinel so the probe is a single compare per way. Under the
+ * default LRU replacement the recency stamps double as the policy
+ * state (the same stamps the Section 5.1 TLB-aware victim scan
+ * uses), so no virtual ReplacementPolicy calls appear on the access
+ * path; non-LRU policies still go through the polymorphic interface.
  */
 
 #ifndef POMTLB_CACHE_CACHE_HH
@@ -130,30 +140,47 @@ class SetAssocCache
     std::uint64_t writebackCount() const { return writebacks.value(); }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        LineKind kind = LineKind::Data;
-        std::uint64_t tag = 0;
-        /** Recency stamp (TLB-aware victim selection). */
-        std::uint64_t stamp = 0;
-    };
+    /**
+     * Reserved tag marking an invalid way. Real tags are addresses
+     * shifted right by at least the line bits, so they can never
+     * reach the all-ones value (asserted in the constructor).
+     */
+    static constexpr std::uint64_t invalidTag = ~std::uint64_t{0};
+
+    /** meta[] bit 0: line dirty. */
+    static constexpr std::uint8_t metaDirty = 1u << 0;
+    /** meta[] bit 1: line caches a POM-TLB entry. */
+    static constexpr std::uint8_t metaTlb = 1u << 1;
 
     std::uint64_t setIndex(Addr addr) const;
     /** Victim way honouring the TLB-aware policy. */
     unsigned victimWay(std::uint64_t set, LineKind incoming);
     std::uint64_t tagOf(Addr addr) const;
     Addr lineAddr(std::uint64_t set, std::uint64_t tag) const;
-    Line *findLine(Addr addr, unsigned *way_out);
-    const Line *findLine(Addr addr) const;
+    /** Index into the line arrays, or -1 when not resident. */
+    std::int64_t findLine(Addr addr) const;
+
+    static LineKind
+    kindOf(std::uint8_t meta_bits)
+    {
+        return (meta_bits & metaTlb) ? LineKind::TlbEntry
+                                     : LineKind::Data;
+    }
 
     CacheConfig cacheConfig;
     std::uint64_t sets;
     unsigned ways;
     unsigned lineShift;
     unsigned setBits;
-    std::vector<Line> lines;
+
+    // Structure-of-arrays line state, indexed [set * ways + way].
+    std::vector<std::uint64_t> tags;
+    /** Recency stamps: LRU state and TLB-aware victim input. */
+    std::vector<std::uint64_t> stamps;
+    /** Per-line dirty/kind bits (metaDirty / metaTlb). */
+    std::vector<std::uint8_t> meta;
+
+    /** Non-null only for non-LRU replacement (LRU is inlined). */
     std::unique_ptr<ReplacementPolicy> policy;
     TlbLinePolicy tlbPolicy = TlbLinePolicy::None;
     std::uint64_t recencyClock = 0;

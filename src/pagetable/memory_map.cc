@@ -22,22 +22,59 @@ MemoryMap::MemoryMap(const MemoryMapConfig &config) : mapConfig(config)
 MemoryMap::VmState &
 MemoryMap::vmState(VmId vm)
 {
-    auto it = vms.find(vm);
-    if (it != vms.end())
-        return it->second;
+    if (vm < vmCache.size() && vmCache[vm] != nullptr)
+        return *vmCache[vm];
 
-    VmState state;
-    if (mapConfig.mode == ExecMode::Virtualized) {
-        state.guestFrames = std::make_unique<FrameAllocator>(
-            firstFrame, mapConfig.guestPhysBytes);
-        state.hostTable = std::make_unique<RadixPageTable>(
-            "ept.vm" + std::to_string(vm), *hostFrames);
+    auto it = vms.find(vm);
+    if (it == vms.end()) {
+        VmState state;
+        if (mapConfig.mode == ExecMode::Virtualized) {
+            state.guestFrames = std::make_unique<FrameAllocator>(
+                firstFrame, mapConfig.guestPhysBytes);
+            state.hostTable = std::make_unique<RadixPageTable>(
+                "ept.vm" + std::to_string(vm), *hostFrames);
+        }
+        it = vms.emplace(vm, std::move(state)).first;
     }
-    return vms.emplace(vm, std::move(state)).first->second;
+    // std::map nodes are stable, so the cached pointer stays valid.
+    if (vm >= vmCache.size())
+        vmCache.resize(vm + 1, nullptr);
+    vmCache[vm] = &it->second;
+    return it->second;
+}
+
+MemoryMap::SpaceEntry &
+MemoryMap::spaceEntry(VmId vm, ProcessId pid)
+{
+    const std::uint64_t raw =
+        (static_cast<std::uint64_t>(vm) << 16) | pid;
+    if (raw == lastSpaceKey)
+        return *lastSpace;
+
+    const std::uint64_t key = mix64(raw);
+    SpaceEntry *entry;
+    if (const std::uint64_t *index = spaceMap.find(key)) {
+        entry = spaces[*index].get();
+    } else {
+        entry = spaces.emplace_back(std::make_unique<SpaceEntry>())
+                    .get();
+        entry->vm = &vmState(vm);
+        entry->table = &guestTableSlow(vm, pid);
+        spaceMap.insert(key, spaces.size() - 1);
+    }
+    lastSpaceKey = raw;
+    lastSpace = entry;
+    return *entry;
 }
 
 RadixPageTable &
 MemoryMap::guestTable(VmId vm, ProcessId pid)
+{
+    return *spaceEntry(vm, pid).table;
+}
+
+RadixPageTable &
+MemoryMap::guestTableSlow(VmId vm, ProcessId pid)
 {
     VmState &state = vmState(vm);
     auto it = state.guestTables.find(pid);
@@ -72,8 +109,22 @@ MemoryMap::ensureMapped(VmId vm, ProcessId pid, Addr vaddr,
     TranslationInfo info;
     info.size = size;
 
-    RadixPageTable &guest = guestTable(vm, pid);
-    VmState &state = vmState(vm);
+    SpaceEntry &space = spaceEntry(vm, pid);
+
+    // Fast path: this page was resolved before. The memo key encodes
+    // (vpn, size) exactly and mix64 is a bijection, so a hit is
+    // definitive — rebuild the result from the cached page bases.
+    const std::uint64_t memo_key = mix64(
+        (pageNumber(vaddr, size) << 1) |
+        (size == PageSize::Large2M ? 1u : 0u));
+    if (const PageMemoMap::Slot *memo = space.memo.find(memo_key)) {
+        info.gpa = memo->gpaPage | pageOffset(vaddr, size);
+        info.hpa = memo->hpaPage | pageOffset(vaddr, size);
+        return info;
+    }
+
+    RadixPageTable &guest = *space.table;
+    VmState &state = *space.vm;
 
     RadixWalkPath guest_path = guest.walk(vaddr);
     GuestPhysAddr gpa_page;
@@ -93,6 +144,7 @@ MemoryMap::ensureMapped(VmId vm, ProcessId pid, Addr vaddr,
 
     if (mapConfig.mode == ExecMode::Native) {
         info.hpa = info.gpa;
+        space.memo.insert(memo_key, gpa_page, gpa_page);
         return info;
     }
 
@@ -109,6 +161,7 @@ MemoryMap::ensureMapped(VmId vm, ProcessId pid, Addr vaddr,
                  hpa_page >> pageShift(size));
     }
     info.hpa = hpa_page | pageOffset(vaddr, size);
+    space.memo.insert(memo_key, gpa_page, hpa_page);
     return info;
 }
 
@@ -135,7 +188,15 @@ MemoryMap::hostTranslate(VmId vm, GuestPhysAddr gpa)
 bool
 MemoryMap::unmapPage(VmId vm, ProcessId pid, Addr vaddr, PageSize)
 {
-    return guestTable(vm, pid).unmap(vaddr);
+    SpaceEntry &space = spaceEntry(vm, pid);
+    const bool removed = space.table->unmap(vaddr);
+    // Shootdowns are rare (one per ~10^5 refs at most in the paper's
+    // sweeps), so dropping the space's whole memo beats tracking
+    // per-page keys. Host backings are never torn down, so the
+    // hostBacked set stays valid.
+    if (removed)
+        space.memo.clear();
+    return removed;
 }
 
 } // namespace pomtlb

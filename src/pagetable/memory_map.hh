@@ -21,7 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
+#include "common/bitutil.hh"
+#include "common/hash_set.hh"
 #include "common/types.hh"
 #include "pagetable/radix_table.hh"
 
@@ -67,6 +70,23 @@ class MemoryMap
      */
     HostPhysAddr hostTranslate(VmId vm, GuestPhysAddr gpa);
 
+    /**
+     * Ensure @p gpa has a host backing without producing the
+     * translation. Equivalent to discarding hostTranslate()'s result,
+     * but memoised per guest-physical 4 KB page so the per-walk
+     * hot-path call is a single hash probe once the page is backed
+     * (EPT mappings are never torn down, so the memo never goes
+     * stale).
+     */
+    void
+    ensureHostBacked(VmId vm, GuestPhysAddr gpa)
+    {
+        if (mapConfig.mode == ExecMode::Native)
+            return;
+        if (hostBacked.insert(hostBackedKey(vm, gpa)))
+            hostTranslate(vm, gpa);
+    }
+
     /** The guest (or native) page table of (vm, pid). */
     RadixPageTable &guestTable(VmId vm, ProcessId pid);
 
@@ -93,11 +113,145 @@ class MemoryMap
         std::map<ProcessId, std::unique_ptr<RadixPageTable>> guestTables;
     };
 
+    /**
+     * Open-addressing memo of per-page translations. The 24-byte
+     * slots keep the key and both page bases together, so a probe of
+     * this (often LLC-exceeding) table costs one memory touch rather
+     * than a key probe plus a payload indirection.
+     */
+    class PageMemoMap
+    {
+      public:
+        struct Slot
+        {
+            std::uint64_t key = 0;
+            GuestPhysAddr gpaPage = 0;
+            HostPhysAddr hpaPage = 0;
+        };
+
+        explicit PageMemoMap(std::size_t expected = 4096)
+        {
+            std::size_t cap = 16;
+            while (cap < expected * 2)
+                cap <<= 1;
+            slots.assign(cap, Slot{});
+            mask = cap - 1;
+        }
+
+        /** Look up a pre-mixed key; nullptr when absent. */
+        const Slot *
+        find(std::uint64_t key) const
+        {
+            if (key == 0)
+                return zeroPresent ? &zeroSlot : nullptr;
+            std::size_t i = static_cast<std::size_t>(key) & mask;
+            for (;;) {
+                const Slot &slot = slots[i];
+                if (slot.key == key)
+                    return &slot;
+                if (slot.key == 0)
+                    return nullptr;
+                i = (i + 1) & mask;
+            }
+        }
+
+        /** Insert a fresh key (must not be present). */
+        void
+        insert(std::uint64_t key, GuestPhysAddr gpa_page,
+               HostPhysAddr hpa_page)
+        {
+            if (key == 0) {
+                zeroPresent = true;
+                zeroSlot = {0, gpa_page, hpa_page};
+                return;
+            }
+            if ((used + 1) * 3 >= slots.size() * 2)
+                grow();
+            std::size_t i = static_cast<std::size_t>(key) & mask;
+            while (slots[i].key != 0)
+                i = (i + 1) & mask;
+            slots[i] = {key, gpa_page, hpa_page};
+            ++used;
+        }
+
+        /** Drop every entry, keeping the current capacity. */
+        void
+        clear()
+        {
+            std::fill(slots.begin(), slots.end(), Slot{});
+            used = 0;
+            zeroPresent = false;
+        }
+
+      private:
+        void
+        grow()
+        {
+            std::vector<Slot> old = std::move(slots);
+            slots.assign(old.size() * 2, Slot{});
+            mask = slots.size() - 1;
+            for (const Slot &slot : old) {
+                if (slot.key == 0)
+                    continue;
+                std::size_t i =
+                    static_cast<std::size_t>(slot.key) & mask;
+                while (slots[i].key != 0)
+                    i = (i + 1) & mask;
+                slots[i] = slot;
+            }
+        }
+
+        std::vector<Slot> slots;
+        std::size_t mask = 0;
+        std::size_t used = 0;
+        bool zeroPresent = false;
+        Slot zeroSlot;
+    };
+
+    /**
+     * Hot-path state for one (vm, pid) address space: the guest
+     * table plus the space's translation memo. The memo caches the
+     * page-granular result of ensureMapped() so repeat calls (one per
+     * page walk) cost a hash probe instead of two functional radix
+     * walks; it is flushed on unmapPage().
+     */
+    struct SpaceEntry
+    {
+        RadixPageTable *table = nullptr;
+        VmState *vm = nullptr;
+        /** mix64(vpn << 1 | large?) -> page bases. */
+        PageMemoMap memo;
+    };
+
     VmState &vmState(VmId vm);
+    /** Fast (vm, pid) -> SpaceEntry lookup (MRU + flat hash map). */
+    SpaceEntry &spaceEntry(VmId vm, ProcessId pid);
+    /** Create-or-find the guest table in the owning std::map. */
+    RadixPageTable &guestTableSlow(VmId vm, ProcessId pid);
+
+    static std::uint64_t
+    hostBackedKey(VmId vm, GuestPhysAddr gpa)
+    {
+        return mix64((gpa >> smallPageShift) ^
+                     (static_cast<std::uint64_t>(vm) << 48));
+    }
 
     MemoryMapConfig mapConfig;
     std::unique_ptr<FrameAllocator> hostFrames;
     std::map<VmId, VmState> vms;
+
+    /** vm id -> VmState, grown on demand (VmId is 16-bit). */
+    std::vector<VmState *> vmCache;
+    /** mix64((vm << 16) | pid) -> index into spaces. */
+    U64Map spaceMap;
+    /** Stable-index storage for the per-space hot-path state. */
+    std::vector<std::unique_ptr<SpaceEntry>> spaces;
+    /** One-entry MRU for spaceEntry() (block execution runs the same
+     *  core — hence the same space — for many consecutive refs). */
+    std::uint64_t lastSpaceKey = ~std::uint64_t{0};
+    SpaceEntry *lastSpace = nullptr;
+    /** Guest-physical 4 KB pages already given a host backing. */
+    U64Set hostBacked;
 };
 
 } // namespace pomtlb

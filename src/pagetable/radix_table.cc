@@ -32,6 +32,14 @@ FrameAllocator::allocateTableNode()
     return allocate(PageSize::Small4K);
 }
 
+RadixPageTable::Node::~Node()
+{
+    for (const std::uint64_t slot : slots) {
+        if (isChild(slot))
+            delete childOf(slot);
+    }
+}
+
 RadixPageTable::RadixPageTable(std::string name,
                                FrameAllocator &allocator)
     : tableName(std::move(name)), frames(allocator)
@@ -56,30 +64,29 @@ RadixPageTable::map(PageNum vpn, PageSize size, PageNum pfn)
 
     Node *node = root.get();
     for (unsigned level = 4; level > leaf_level; --level) {
-        Entry &entry = node->slots[levelIndex(vaddr, level)];
-        if (entry.state == Entry::State::Leaf) {
+        std::uint64_t &entry = node->slots[levelIndex(vaddr, level)];
+        if (isLeaf(entry)) {
             panic("table '", tableName, "': page-size conflict at level ",
                   level, " mapping vaddr 0x", std::hex, vaddr);
         }
-        if (entry.state == Entry::State::NotPresent) {
-            entry.child =
-                std::make_unique<Node>(frames.allocateTableNode());
-            entry.state = Entry::State::Child;
+        if (entry == 0) {
+            Node *child = new Node(frames.allocateTableNode());
+            entry = reinterpret_cast<std::uint64_t>(child) |
+                    slotChildTag;
             ++nodes;
         }
-        node = entry.child.get();
+        node = childOf(entry);
     }
 
-    Entry &leaf = node->slots[levelIndex(vaddr, leaf_level)];
-    if (leaf.state == Entry::State::Child) {
+    std::uint64_t &leaf = node->slots[levelIndex(vaddr, leaf_level)];
+    if (isChild(leaf)) {
         panic("table '", tableName, "': mapping a ", pageSizeName(size),
               " page over an existing subtree at vaddr 0x", std::hex,
               vaddr);
     }
-    if (leaf.state == Entry::State::NotPresent)
+    if (leaf == 0)
         ++mappedPages;
-    leaf.state = Entry::State::Leaf;
-    leaf.pfn = pfn;
+    leaf = (pfn << 2) | slotLeafTag;
 }
 
 bool
@@ -87,12 +94,12 @@ RadixPageTable::isMapped(Addr vaddr) const
 {
     const Node *node = root.get();
     for (unsigned level = 4; level >= 1; --level) {
-        const Entry &entry = node->slots[levelIndex(vaddr, level)];
-        if (entry.state == Entry::State::Leaf)
+        const std::uint64_t entry = node->slots[levelIndex(vaddr, level)];
+        if (isLeaf(entry))
             return true;
-        if (entry.state == Entry::State::NotPresent)
+        if (entry == 0)
             return false;
-        node = entry.child.get();
+        node = childOf(entry);
     }
     return false;
 }
@@ -108,36 +115,37 @@ RadixPageTable::walk(Addr vaddr, unsigned first_level) const
     // this models a PSC hit that already supplied the upper entries.
     const Node *node = root.get();
     for (unsigned level = 4; level > first_level; --level) {
-        const Entry &entry = node->slots[levelIndex(vaddr, level)];
-        if (entry.state == Entry::State::Leaf) {
+        const std::uint64_t entry =
+            node->slots[levelIndex(vaddr, level)];
+        if (isLeaf(entry)) {
             // The PSC claimed a deeper entry but the leaf is here
             // (can't happen with consistent PSC fills).
             panic("table '", tableName,
                   "': PSC skip descended past a leaf");
         }
-        if (entry.state == Entry::State::NotPresent)
+        if (entry == 0)
             return path; // not mapped
-        node = entry.child.get();
+        node = childOf(entry);
     }
 
     for (unsigned level = first_level; level >= 1; --level) {
-        const Entry &entry = node->slots[levelIndex(vaddr, level)];
-        path.pteAddr[path.reads] =
-            node->frame + levelIndex(vaddr, level) * entryBytes;
+        const unsigned slot = levelIndex(vaddr, level);
+        const std::uint64_t entry = node->slots[slot];
+        path.pteAddr[path.reads] = node->frame + slot * entryBytes;
         path.pteLevel[path.reads] = level;
         ++path.reads;
 
-        if (entry.state == Entry::State::NotPresent)
+        if (entry == 0)
             return path; // reads up to the absent entry still happened
 
-        if (entry.state == Entry::State::Leaf) {
+        if (isLeaf(entry)) {
             path.present = true;
-            path.pfn = entry.pfn;
+            path.pfn = pfnOf(entry);
             path.size =
                 (level == 1) ? PageSize::Small4K : PageSize::Large2M;
             return path;
         }
-        node = entry.child.get();
+        node = childOf(entry);
     }
     return path;
 }
@@ -147,16 +155,15 @@ RadixPageTable::unmap(Addr vaddr)
 {
     Node *node = root.get();
     for (unsigned level = 4; level >= 1; --level) {
-        Entry &entry = node->slots[levelIndex(vaddr, level)];
-        if (entry.state == Entry::State::Leaf) {
-            entry.state = Entry::State::NotPresent;
-            entry.pfn = 0;
+        std::uint64_t &entry = node->slots[levelIndex(vaddr, level)];
+        if (isLeaf(entry)) {
+            entry = 0;
             --mappedPages;
             return true;
         }
-        if (entry.state == Entry::State::NotPresent)
+        if (entry == 0)
             return false;
-        node = entry.child.get();
+        node = childOf(entry);
     }
     return false;
 }

@@ -110,25 +110,51 @@ class RadixPageTable
 
     struct Node;
 
-    /** One slot of a table node. */
-    struct Entry
+    /**
+     * Table slots are packed into one 64-bit word each, so the walk
+     * descent touches a single 8-byte slot per level (the previous
+     * {state, pfn, unique_ptr} layout spread a node over three cache
+     * lines' worth of slots per line — packing keeps the hot upper
+     * levels resident). Encoding:
+     *  - 0: not present;
+     *  - low tag bits == slotChildTag: upper bits hold the child
+     *    Node pointer (8-byte aligned, so the tag bits are free);
+     *  - low tag bits == slotLeafTag: upper bits hold pfn << 2.
+     */
+    static constexpr std::uint64_t slotTagMask = 3;
+    static constexpr std::uint64_t slotChildTag = 1;
+    static constexpr std::uint64_t slotLeafTag = 2;
+
+    static bool
+    isChild(std::uint64_t slot)
     {
-        enum class State : std::uint8_t
-        {
-            NotPresent = 0,
-            Child = 1,
-            Leaf = 2,
-        };
-        State state = State::NotPresent;
-        PageNum pfn = 0;
-        std::unique_ptr<Node> child;
-    };
+        return (slot & slotTagMask) == slotChildTag;
+    }
+    static bool
+    isLeaf(std::uint64_t slot)
+    {
+        return (slot & slotTagMask) == slotLeafTag;
+    }
+    static Node *
+    childOf(std::uint64_t slot)
+    {
+        return reinterpret_cast<Node *>(slot & ~slotTagMask);
+    }
+    static PageNum
+    pfnOf(std::uint64_t slot)
+    {
+        return slot >> 2;
+    }
 
     struct Node
     {
         explicit Node(Addr frame_addr) : frame(frame_addr) {}
+        ~Node();
+        Node(const Node &) = delete;
+        Node &operator=(const Node &) = delete;
+
         Addr frame;
-        std::array<Entry, entriesPerNode> slots;
+        std::array<std::uint64_t, entriesPerNode> slots{};
     };
 
     /** Index into the node at @p level for virtual address bits. */

@@ -104,7 +104,7 @@ PageWalker::hostWalk(GuestPhysAddr gpa, VmId vm, Cycles now)
     // Guest page-table node frames are backed lazily by the
     // hypervisor model; make sure this gPA has a host mapping before
     // the timed walk (costless OS work, identical for all schemes).
-    memoryMap.hostTranslate(vm, gpa);
+    memoryMap.ensureHostBacked(vm, gpa);
 
     // The nested TLB caches complete gPA -> hPA translations; a hit
     // short-circuits this host walk entirely (the EPT is per-VM, so

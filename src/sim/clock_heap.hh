@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Min-heap core scheduler for the simulation engine.
+ *
+ * The engine must always advance the lane (core) that is earliest in
+ * simulated time, breaking clock ties toward the lowest lane id —
+ * exactly the order the original per-step linear scan produced, so
+ * replacing the scan with this heap changes no simulated outcome.
+ * The heap's root is the lexicographic minimum of (clock, id); after
+ * a lane runs one reference the engine asks staysTop() whether the
+ * lane is still globally earliest (two comparisons against the root's
+ * children) and only pays a sift when it is not. Lanes that finish
+ * their phase are removed with popTop().
+ */
+
+#ifndef POMTLB_SIM_CLOCK_HEAP_HH
+#define POMTLB_SIM_CLOCK_HEAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace pomtlb
+{
+
+/**
+ * Binary min-heap of (deadline, lane id) pairs with deterministic
+ * lexicographic ordering: smaller clock first, smaller id on ties.
+ */
+class ClockHeap
+{
+  public:
+    /** One heap entry: a lane's next-event clock plus its id. */
+    struct Entry
+    {
+        Cycles key = 0;
+        std::uint32_t id = 0;
+    };
+
+    /** Drop all entries, keeping capacity for @p lanes pushes. */
+    void
+    reset(std::size_t lanes)
+    {
+        heap.clear();
+        heap.reserve(lanes);
+    }
+
+    /** Insert a lane. Ids must be unique while in the heap. */
+    void
+    push(Cycles key, std::uint32_t id)
+    {
+        heap.push_back(Entry{key, id});
+        siftUp(heap.size() - 1);
+    }
+
+    bool empty() const { return heap.empty(); }
+    std::size_t size() const { return heap.size(); }
+
+    /** Clock of the earliest lane (heap must be non-empty). */
+    Cycles
+    topKey() const
+    {
+        simAssert(!heap.empty(), "topKey() on empty ClockHeap");
+        return heap.front().key;
+    }
+
+    /** Id of the earliest lane (heap must be non-empty). */
+    std::uint32_t
+    topId() const
+    {
+        simAssert(!heap.empty(), "topId() on empty ClockHeap");
+        return heap.front().id;
+    }
+
+    /**
+     * Would the root, rekeyed to (@p key, @p id), still be the
+     * global minimum? True on a single-entry heap. This is the
+     * engine's fast path: when the just-advanced lane remains
+     * earliest it keeps running without any heap restructuring.
+     */
+    bool
+    staysTop(Cycles key, std::uint32_t id) const
+    {
+        const std::size_t n = heap.size();
+        if (n <= 1)
+            return true;
+        std::size_t child = 1;
+        if (n > 2 && less(heap[2], heap[1]))
+            child = 2;
+        return less(Entry{key, id}, heap[child]);
+    }
+
+    /** Re-key the root (its id is unchanged) and restore heap order. */
+    void
+    replaceTop(Cycles key)
+    {
+        simAssert(!heap.empty(), "replaceTop() on empty ClockHeap");
+        heap.front().key = key;
+        siftDown(0);
+    }
+
+    /** Remove the earliest lane. */
+    void
+    popTop()
+    {
+        simAssert(!heap.empty(), "popTop() on empty ClockHeap");
+        heap.front() = heap.back();
+        heap.pop_back();
+        if (!heap.empty())
+            siftDown(0);
+    }
+
+  private:
+    static bool
+    less(const Entry &a, const Entry &b)
+    {
+        return a.key < b.key || (a.key == b.key && a.id < b.id);
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        const Entry e = heap[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!less(e, heap[parent]))
+                break;
+            heap[i] = heap[parent];
+            i = parent;
+        }
+        heap[i] = e;
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        const Entry e = heap[i];
+        const std::size_t n = heap.size();
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && less(heap[child + 1], heap[child]))
+                ++child;
+            if (!less(heap[child], e))
+                break;
+            heap[i] = heap[child];
+            i = child;
+        }
+        heap[i] = e;
+    }
+
+    std::vector<Entry> heap;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_CLOCK_HEAP_HH

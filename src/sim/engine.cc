@@ -1,79 +1,70 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/bitutil.hh"
+#include "common/hash_set.hh"
 #include "common/log.hh"
+#include "sim/clock_heap.hh"
 
 namespace pomtlb
 {
 
-std::uint64_t
-RunResult::totalTranslationCycles() const
+namespace
 {
-    std::uint64_t total = 0;
-    for (const auto &core : cores)
-        total += core.translationCycles;
-    return total;
-}
 
-std::uint64_t
-RunResult::totalLastLevelMisses() const
-{
-    std::uint64_t total = 0;
-    for (const auto &core : cores)
-        total += core.lastLevelTlbMisses;
-    return total;
-}
+/**
+ * Records fetched per TraceSource::fill() when streaming directly
+ * from a source (16 KB of records per core — small enough to stay
+ * cache-resident, large enough to amortise the virtual call).
+ */
+constexpr std::uint64_t streamBlockRecords = 1024;
 
-std::uint64_t
-RunResult::totalRefs() const
-{
-    std::uint64_t total = 0;
-    for (const auto &core : cores)
-        total += core.refs;
-    return total;
-}
+/**
+ * Pre-population captures the trace for replay unless a core's
+ * stream exceeds this many records (4 Mi records = 64 MB per core);
+ * longer runs fall back to re-generating the stream, trading
+ * generator time for bounded memory.
+ */
+constexpr std::uint64_t replayCapRecords = std::uint64_t{1} << 22;
 
-std::uint64_t
-RunResult::totalPageWalks() const
-{
-    std::uint64_t total = 0;
-    for (const auto &core : cores)
-        total += core.pageWalks;
-    return total;
-}
+} // namespace
 
-std::uint64_t
-RunResult::totalShootdowns() const
+const RunTotals &
+RunResult::totals() const
 {
-    std::uint64_t total = 0;
-    for (const auto &core : cores)
-        total += core.shootdowns;
-    return total;
-}
+    if (cachedValid)
+        return cached;
 
-double
-RunResult::avgPenaltyPerMiss() const
-{
-    double weighted = 0.0;
-    std::uint64_t misses = 0;
-    for (const auto &core : cores) {
-        weighted += core.avgPenaltyPerMiss *
-                    static_cast<double>(core.lastLevelTlbMisses);
-        misses += core.lastLevelTlbMisses;
+    RunTotals totals;
+    double weighted_penalty = 0.0;
+    for (const CoreRunStats &core : cores) {
+        totals.refs += core.refs;
+        totals.instructions += core.instructions;
+        totals.cycles += core.cycles;
+        totals.translationCycles += core.translationCycles;
+        totals.l1TlbHits += core.l1TlbHits;
+        totals.l2TlbHits += core.l2TlbHits;
+        totals.lastLevelMisses += core.lastLevelTlbMisses;
+        totals.pageWalks += core.pageWalks;
+        totals.shootdowns += core.shootdowns;
+        weighted_penalty += core.avgPenaltyPerMiss *
+                            static_cast<double>(core.lastLevelTlbMisses);
     }
-    return misses ? weighted / static_cast<double>(misses) : 0.0;
-}
+    totals.avgPenaltyPerMiss =
+        totals.lastLevelMisses
+            ? weighted_penalty /
+                  static_cast<double>(totals.lastLevelMisses)
+            : 0.0;
+    totals.walkFraction =
+        totals.lastLevelMisses
+            ? static_cast<double>(totals.pageWalks) /
+                  static_cast<double>(totals.lastLevelMisses)
+            : 0.0;
 
-double
-RunResult::walkFraction() const
-{
-    const std::uint64_t misses = totalLastLevelMisses();
-    return misses ? static_cast<double>(totalPageWalks()) /
-                        static_cast<double>(misses)
-                  : 0.0;
+    cached = totals;
+    cachedValid = true;
+    return cached;
 }
 
 SimulationEngine::SimulationEngine(Machine &machine_ref,
@@ -82,20 +73,13 @@ SimulationEngine::SimulationEngine(Machine &machine_ref,
     : machine(machine_ref), profile(bench), engineConfig(config)
 {
     const unsigned cores = machine.numCores();
-
-    coreVm = config.coreVm;
-    coreVm.resize(cores, coreVm.empty() ? VmId{1} : coreVm.back());
-
-    const std::uint64_t seed =
-        config.seed ^ machine.config().seed;
+    const std::uint64_t seed = config.seed ^ machine.config().seed;
     sources.reserve(cores);
     for (unsigned core = 0; core < cores; ++core) {
         sources.push_back(
             std::make_unique<GeneratorSource>(profile, core, seed));
     }
-    instructions.assign(cores, 0);
-    pageWalks.assign(cores, 0);
-    shootdowns.assign(cores, 0);
+    initCores();
 }
 
 SimulationEngine::SimulationEngine(
@@ -105,104 +89,197 @@ SimulationEngine::SimulationEngine(
     : machine(machine_ref), profile(bench), engineConfig(config),
       sources(std::move(trace_sources))
 {
-    const unsigned cores = machine.numCores();
-    simAssert(sources.size() == cores,
+    simAssert(sources.size() == machine.numCores(),
               "need exactly one trace source per core");
-    coreVm = config.coreVm;
-    coreVm.resize(cores, coreVm.empty() ? VmId{1} : coreVm.back());
-    instructions.assign(cores, 0);
-    pageWalks.assign(cores, 0);
-    shootdowns.assign(cores, 0);
+    initCores();
 }
 
 void
-SimulationEngine::step(std::vector<Cycles> &clocks,
-                       std::vector<std::uint64_t> &refs_done,
-                       std::uint64_t target_refs)
+SimulationEngine::initCores()
 {
-    // Advance the core that is earliest in simulated time and still
-    // has references to issue.
-    unsigned core = 0;
-    bool found = false;
-    Cycles best = 0;
-    for (unsigned c = 0; c < clocks.size(); ++c) {
-        if (refs_done[c] >= target_refs)
-            continue;
-        if (!found || clocks[c] < best) {
-            best = clocks[c];
-            core = c;
-            found = true;
-        }
-    }
-    simAssert(found, "step() called with all cores finished");
-
-    const TraceRecord record = sources[core]->next();
-    const VmId vm = coreVm[core];
+    const unsigned cores = machine.numCores();
+    coreVm = engineConfig.coreVm;
+    coreVm.resize(cores, coreVm.empty() ? VmId{1} : coreVm.back());
     // Multithreaded workloads share one address space (one pid);
     // rate-mode copies each run as their own process.
-    const ProcessId pid = static_cast<ProcessId>(
-        profile.multithreaded ? engineConfig.pidBase
-                              : engineConfig.pidBase + core);
+    corePid.resize(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        corePid[core] = static_cast<ProcessId>(
+            profile.multithreaded ? engineConfig.pidBase
+                                  : engineConfig.pidBase + core);
+    }
+}
 
-    // Non-memory instructions retire at one per cycle.
-    clocks[core] += record.instGap;
-    instructions[core] += record.instGap + 1;
+void
+SimulationEngine::refill(Lane &lane, unsigned core)
+{
+    if (!replay.empty()) {
+        // Replay mode: the block is a zero-copy slice of the captured
+        // stream, extended to everything not yet consumed — a lane
+        // refills at most once per phase.
+        const std::vector<TraceRecord> &records = replay[core];
+        simAssert(lane.consumed < records.size(),
+                  "captured trace exhausted");
+        lane.block = records.data() + lane.consumed;
+        lane.blockPos = 0;
+        lane.blockLen = records.size() - lane.consumed;
+        return;
+    }
+    const std::size_t got = sources[core]->fill(
+        lane.scratch.data(), lane.scratch.size());
+    simAssert(got > 0, "trace source exhausted");
+    lane.block = lane.scratch.data();
+    lane.blockPos = 0;
+    lane.blockLen = got;
+}
 
-    const MmuResult translation = machine.mmu(core).translate(
-        record.vaddr, record.pageSize, vm, pid, clocks[core]);
-    clocks[core] += translation.cycles;
-    if (translation.walked)
-        ++pageWalks[core];
+void
+SimulationEngine::runPhase(std::vector<Lane> &lanes,
+                           std::uint64_t target)
+{
+    if (target == 0)
+        return;
 
-    const HierarchyAccessResult data = machine.hierarchy().accessData(
-        core, translation.hpa, record.type, clocks[core]);
-    clocks[core] += data.latency;
+    DataHierarchy &hierarchy = machine.hierarchy();
+    const std::uint64_t interval = engineConfig.shootdownIntervalRefs;
 
-    // Periodic TLB shootdowns (disabled by default).
-    if (engineConfig.shootdownIntervalRefs > 0 &&
-        ++refsSinceShootdown >= engineConfig.shootdownIntervalRefs) {
-        refsSinceShootdown = 0;
-        machine.shootdownPage(record.vaddr, record.pageSize, vm, pid);
-        clocks[core] += engineConfig.shootdownCycles;
-        ++shootdowns[core];
+    // Seed the scheduler with every lane's current clock. The heap
+    // root is always the lexicographic minimum of (clock, core), so
+    // lanes advance in exactly the order the old per-step linear
+    // scan produced.
+    ClockHeap heap;
+    heap.reset(lanes.size());
+    for (std::uint32_t core = 0; core < lanes.size(); ++core) {
+        lanes[core].phaseDone = 0;
+        heap.push(lanes[core].clock, core);
     }
 
-    ++refs_done[core];
+    while (!heap.empty()) {
+        const std::uint32_t core = heap.topId();
+        Lane &lane = lanes[core];
+        Mmu &mmu = *lane.mmu;
+        const VmId vm = lane.vm;
+        const ProcessId pid = lane.pid;
+        Cycles clock = lane.clock;
+
+        // Run this lane until it either finishes the phase or stops
+        // being globally earliest; only then touch the heap.
+        for (;;) {
+            if (lane.blockPos == lane.blockLen)
+                refill(lane, core);
+            const TraceRecord &record = lane.block[lane.blockPos++];
+            ++lane.consumed;
+
+            // Non-memory instructions retire at one per cycle.
+            clock += record.instGap;
+            lane.instructions += record.instGap + 1;
+
+            const MmuResult translation = mmu.translate(
+                record.vaddr, record.pageSize, vm, pid, clock);
+            clock += translation.cycles;
+            lane.pageWalks += translation.walked ? 1 : 0;
+
+            const HierarchyAccessResult data = hierarchy.accessData(
+                core, translation.hpa, record.type, clock);
+            clock += data.latency;
+
+            // Periodic TLB shootdowns (disabled by default).
+            if (interval > 0 &&
+                ++refsSinceShootdown >= interval) {
+                refsSinceShootdown = 0;
+                machine.shootdownPage(record.vaddr, record.pageSize,
+                                      vm, pid);
+                clock += engineConfig.shootdownCycles;
+                ++lane.shootdowns;
+            }
+
+            if (++lane.phaseDone == target) {
+                lane.clock = clock;
+                heap.popTop();
+                break;
+            }
+            if (!heap.staysTop(clock, core)) {
+                lane.clock = clock;
+                heap.replaceTop(clock);
+                break;
+            }
+        }
+    }
 }
 
 void
 SimulationEngine::prepopulate()
 {
     const unsigned cores = machine.numCores();
-    const std::uint64_t per_core = engineConfig.warmupRefsPerCore +
-                                   engineConfig.refsPerCore;
+    const std::uint64_t per_core =
+        engineConfig.warmupRefsPerCore + engineConfig.refsPerCore;
 
-    std::unordered_set<std::uint64_t> seen;
+    // Capture the stream while enumerating it so the timed run can
+    // replay the records instead of re-generating them.
+    const bool capture = per_core <= replayCapRecords;
+    replay.clear();
+    if (capture)
+        replay.resize(cores);
+
+    MemoryMap &map = machine.memoryMap();
+    U64Set seen(std::size_t{1} << 16);
+    std::vector<TraceRecord> chunk;
+    if (!capture)
+        chunk.resize(streamBlockRecords);
+
     for (unsigned core = 0; core < cores; ++core) {
-        // Replay exactly the stream the timed run will issue, then
-        // rewind the source for the real run.
+        // Replay exactly the stream the timed run will issue.
         TraceSource &dry = *sources[core];
         dry.rewind();
         const VmId vm = coreVm[core];
-        const ProcessId pid = static_cast<ProcessId>(
-            profile.multithreaded ? engineConfig.pidBase
-                                  : engineConfig.pidBase + core);
-        for (std::uint64_t i = 0; i < per_core; ++i) {
-            const TraceRecord record = dry.next();
-            const Addr page = pageBase(record.vaddr, record.pageSize);
-            // Dedup key covers (page, pid, vm): the same page may
-            // need separate entries per process and per VM.
-            const std::uint64_t key =
-                mix64(page) ^
-                mix64((static_cast<std::uint64_t>(pid) << 16) | vm);
-            if (!seen.insert(key).second)
-                continue;
-            const TranslationInfo info = machine.memoryMap().ensureMapped(
-                vm, pid, record.vaddr, record.pageSize);
-            machine.scheme().prewarm(
-                core, record.vaddr, record.pageSize, vm, pid,
-                info.hpa >> pageShift(record.pageSize));
+        const ProcessId pid = corePid[core];
+        // Dedup key covers (page, pid, vm): the same page may need
+        // separate entries per process and per VM.
+        const std::uint64_t space_key =
+            mix64((static_cast<std::uint64_t>(pid) << 16) | vm);
+
+        if (capture)
+            replay[core].resize(per_core);
+
+        std::uint64_t done = 0;
+        std::uint64_t last_key = ~std::uint64_t{0};
+        while (done < per_core) {
+            TraceRecord *block;
+            std::size_t want;
+            if (capture) {
+                block = replay[core].data() + done;
+                want = static_cast<std::size_t>(per_core - done);
+            } else {
+                block = chunk.data();
+                want = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(chunk.size(),
+                                            per_core - done));
+            }
+            const std::size_t got = dry.fill(block, want);
+            simAssert(got == want, "trace source exhausted during "
+                                   "steady-state pre-population");
+            for (std::size_t i = 0; i < got; ++i) {
+                const TraceRecord &record = block[i];
+                const Addr page =
+                    pageBase(record.vaddr, record.pageSize);
+                const std::uint64_t key = mix64(page) ^ space_key;
+                // Page-local runs dominate the streams: skip the set
+                // probe when the key repeats back-to-back.
+                if (key == last_key)
+                    continue;
+                last_key = key;
+                if (!seen.insert(key))
+                    continue;
+                const TranslationInfo info = map.ensureMapped(
+                    vm, pid, record.vaddr, record.pageSize);
+                machine.scheme().prewarm(
+                    core, record.vaddr, record.pageSize, vm, pid,
+                    info.hpa >> pageShift(record.pageSize));
+            }
+            done += got;
         }
+        // Leave the source rewound whether or not the timed run will
+        // replay the capture instead of re-reading it.
         dry.rewind();
     }
 }
@@ -211,50 +288,62 @@ RunResult
 SimulationEngine::run()
 {
     const unsigned cores = machine.numCores();
-    std::vector<Cycles> clocks(cores, 0);
-    std::vector<std::uint64_t> refs_done(cores, 0);
 
     if (engineConfig.prepopulate)
         prepopulate();
+    else
+        replay.clear();
+
+    std::vector<Lane> lanes(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        Lane &lane = lanes[core];
+        lane.mmu = &machine.mmu(core);
+        lane.vm = coreVm[core];
+        lane.pid = corePid[core];
+        if (replay.empty())
+            lane.scratch.resize(streamBlockRecords);
+    }
 
     // Warmup: populate TLBs, caches, page tables, POM-TLB.
     const std::uint64_t warmup = engineConfig.warmupRefsPerCore;
     if (warmup > 0) {
-        std::uint64_t remaining =
-            static_cast<std::uint64_t>(cores) * warmup;
-        while (remaining--)
-            step(clocks, refs_done, warmup);
+        runPhase(lanes, warmup);
         machine.resetStats();
-        std::fill(instructions.begin(), instructions.end(), 0);
-        std::fill(pageWalks.begin(), pageWalks.end(), 0);
-        std::fill(shootdowns.begin(), shootdowns.end(), 0);
+        for (Lane &lane : lanes) {
+            lane.instructions = 0;
+            lane.pageWalks = 0;
+            lane.shootdowns = 0;
+        }
     }
 
     // Measured phase.
-    const std::uint64_t target =
-        warmup + engineConfig.refsPerCore;
-    std::vector<Cycles> start_clocks = clocks;
-    std::uint64_t remaining =
-        static_cast<std::uint64_t>(cores) * engineConfig.refsPerCore;
-    while (remaining--)
-        step(clocks, refs_done, target);
+    std::vector<Cycles> start_clocks(cores);
+    for (unsigned core = 0; core < cores; ++core)
+        start_clocks[core] = lanes[core].clock;
+    runPhase(lanes, engineConfig.refsPerCore);
 
     RunResult result;
     result.cores.resize(cores);
     for (unsigned core = 0; core < cores; ++core) {
         CoreRunStats &stats = result.cores[core];
-        const Mmu &mmu = machine.mmu(core);
+        const Lane &lane = lanes[core];
+        const Mmu &mmu = *lane.mmu;
         stats.refs = engineConfig.refsPerCore;
-        stats.instructions = instructions[core];
-        stats.cycles = clocks[core] - start_clocks[core];
+        stats.instructions = lane.instructions;
+        stats.cycles = lane.clock - start_clocks[core];
         stats.translationCycles = mmu.totalTranslationCycles();
         stats.l1TlbHits = mmu.l1HitCount();
         stats.l2TlbHits = mmu.l2HitCount();
         stats.lastLevelTlbMisses = mmu.lastLevelMissCount();
         stats.avgPenaltyPerMiss = mmu.avgPenaltyPerMiss();
-        stats.pageWalks = pageWalks[core];
-        stats.shootdowns = shootdowns[core];
+        stats.pageWalks = lane.pageWalks;
+        stats.shootdowns = lane.shootdowns;
     }
+
+    // The capture can be tens of megabytes; do not hold it between
+    // runs (a later run() re-captures during its pre-population).
+    replay.clear();
+    replay.shrink_to_fit();
     return result;
 }
 

@@ -9,6 +9,15 @@
  * instructions advance a core's clock at one instruction per cycle;
  * memory references charge translation plus data-path latency.
  *
+ * The hot path is batched: a ClockHeap picks the earliest core in
+ * O(log cores) (with an O(1) fast path while that core stays
+ * earliest), trace records arrive in caller-owned blocks via
+ * TraceSource::fill() rather than one virtual call each, and the
+ * steady state allocates nothing — all scratch buffers are sized
+ * once per run. The scheduling order is exactly the old per-step
+ * linear scan's (lowest clock, ties to the lowest core index), so
+ * results are bit-identical to the pre-batching engine.
+ *
  * A warmup phase runs before statistics are reset, so reported rates
  * are steady-state.
  */
@@ -79,20 +88,43 @@ struct CoreRunStats
     std::uint64_t shootdowns = 0;
 };
 
+/**
+ * Machine-wide aggregates over a RunResult's per-core stats —
+ * everything the old total*() walker family computed, gathered in
+ * one pass and cached.
+ */
+struct RunTotals
+{
+    std::uint64_t refs = 0;
+    InstCount instructions = 0;
+    Cycles cycles = 0;
+    std::uint64_t translationCycles = 0;
+    std::uint64_t l1TlbHits = 0;
+    std::uint64_t l2TlbHits = 0;
+    std::uint64_t lastLevelMisses = 0;
+    std::uint64_t pageWalks = 0;
+    std::uint64_t shootdowns = 0;
+    /** Machine-wide average penalty per last-level TLB miss. */
+    double avgPenaltyPerMiss = 0.0;
+    /** Fraction of last-level TLB misses that needed a page walk. */
+    double walkFraction = 0.0;
+};
+
 /** Whole-run results. */
 struct RunResult
 {
     std::vector<CoreRunStats> cores;
 
-    std::uint64_t totalTranslationCycles() const;
-    std::uint64_t totalLastLevelMisses() const;
-    std::uint64_t totalRefs() const;
-    std::uint64_t totalPageWalks() const;
-    std::uint64_t totalShootdowns() const;
-    /** Machine-wide average penalty per last-level TLB miss. */
-    double avgPenaltyPerMiss() const;
-    /** Fraction of last-level TLB misses that needed a page walk. */
-    double walkFraction() const;
+    /**
+     * Machine-wide aggregates, computed on first use and cached.
+     * Callers must not mutate @c cores after calling totals(); build
+     * the per-core vector first, aggregate once.
+     */
+    const RunTotals &totals() const;
+
+  private:
+    mutable RunTotals cached;
+    mutable bool cachedValid = false;
 };
 
 /** Drives one benchmark through one machine. */
@@ -123,10 +155,41 @@ class SimulationEngine
     RunResult run();
 
   private:
-    /** Advance the lowest-clock core by one reference. */
-    void step(std::vector<Cycles> &clocks,
-              std::vector<std::uint64_t> &refs_done,
-              std::uint64_t target_refs);
+    /**
+     * Per-core execution lane: the core's clock, its current trace
+     * block, and the stats deltas it accumulates locally (flushed
+     * into the RunResult at phase boundaries). Sized once per run —
+     * nothing here allocates on the per-reference path.
+     */
+    struct Lane
+    {
+        Cycles clock = 0;
+        /** Records consumed from the source this run. */
+        std::uint64_t consumed = 0;
+        /** References issued in the current phase. */
+        std::uint64_t phaseDone = 0;
+        /** Current trace block (replay slice or scratch buffer). */
+        const TraceRecord *block = nullptr;
+        std::uint64_t blockPos = 0;
+        std::uint64_t blockLen = 0;
+        /** Scratch block when streaming straight from the source. */
+        std::vector<TraceRecord> scratch;
+        Mmu *mmu = nullptr;
+        VmId vm = 1;
+        ProcessId pid = 1;
+        InstCount instructions = 0;
+        std::uint64_t pageWalks = 0;
+        std::uint64_t shootdowns = 0;
+    };
+
+    /** Common constructor tail (VM map, per-core state). */
+    void initCores();
+
+    /** Refill @p lane's block from its replay slice or source. */
+    void refill(Lane &lane, unsigned core);
+
+    /** Issue references until every lane has done @p target refs. */
+    void runPhase(std::vector<Lane> &lanes, std::uint64_t target);
 
     /** Dry-run the whole trace to pre-install steady-state pages. */
     void prepopulate();
@@ -136,9 +199,13 @@ class SimulationEngine
     EngineConfig engineConfig;
     std::vector<std::unique_ptr<TraceSource>> sources;
     std::vector<VmId> coreVm;
-    std::vector<InstCount> instructions;
-    std::vector<std::uint64_t> pageWalks;
-    std::vector<std::uint64_t> shootdowns;
+    std::vector<ProcessId> corePid;
+    /**
+     * When pre-population captured the trace, the timed run replays
+     * these per-core record vectors instead of re-generating the
+     * stream (one capture, two uses).
+     */
+    std::vector<std::vector<TraceRecord>> replay;
     std::uint64_t refsSinceShootdown = 0;
 };
 

@@ -59,8 +59,9 @@ buildStatsDocument(Machine &machine, const RunResult &result,
     }
     const CycleSplit split = sumCycleSplit(machine);
 
+    const RunTotals &run_totals = result.totals();
     JsonValue totals = JsonValue::object();
-    totals.set("refs", result.totalRefs());
+    totals.set("refs", run_totals.refs);
     totals.set("translations", translations);
     totals.set("l1_tlb_hits", l1_hits);
     totals.set("l2_tlb_hits", l2_hits);
@@ -68,10 +69,10 @@ buildStatsDocument(Machine &machine, const RunResult &result,
     totals.set("translation_cycles", split.total);
     totals.set("sram_cycles", split.sram);
     totals.set("scheme_cycles", split.scheme);
-    totals.set("page_walks", result.totalPageWalks());
-    totals.set("shootdowns", result.totalShootdowns());
-    totals.set("avg_penalty_per_miss", result.avgPenaltyPerMiss());
-    totals.set("walk_fraction", result.walkFraction());
+    totals.set("page_walks", run_totals.pageWalks);
+    totals.set("shootdowns", run_totals.shootdowns);
+    totals.set("avg_penalty_per_miss", run_totals.avgPenaltyPerMiss);
+    totals.set("walk_fraction", run_totals.walkFraction);
     doc.set("totals", std::move(totals));
 
     // -- cycle breakdown (Figure 8 decomposition) ------------------

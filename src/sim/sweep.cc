@@ -143,9 +143,10 @@ runExperiment(const ExperimentRequest &request)
     result.summary.run = engine.run();
 
     SchemeRunSummary &summary = result.summary;
-    summary.translationCycles = summary.run.totalTranslationCycles();
-    summary.avgPenaltyPerMiss = summary.run.avgPenaltyPerMiss();
-    summary.walkFraction = summary.run.walkFraction();
+    const RunTotals &totals = summary.run.totals();
+    summary.translationCycles = totals.translationCycles;
+    summary.avgPenaltyPerMiss = totals.avgPenaltyPerMiss;
+    summary.walkFraction = totals.walkFraction;
     for (unsigned core = 0; core < machine.numCores(); ++core) {
         summary.sramCycles += machine.mmu(core).totalSramCycles();
         summary.schemeCycles +=
@@ -363,11 +364,11 @@ summaryToJson(const SchemeRunSummary &summary)
     object.set("cycle_breakdown", std::move(breakdown));
     object.set("avg_penalty_per_miss", summary.avgPenaltyPerMiss);
     object.set("walk_fraction", summary.walkFraction);
-    object.set("refs", summary.run.totalRefs());
-    object.set("last_level_misses",
-               summary.run.totalLastLevelMisses());
-    object.set("page_walks", summary.run.totalPageWalks());
-    object.set("shootdowns", summary.run.totalShootdowns());
+    const RunTotals &totals = summary.run.totals();
+    object.set("refs", totals.refs);
+    object.set("last_level_misses", totals.lastLevelMisses);
+    object.set("page_walks", totals.pageWalks);
+    object.set("shootdowns", totals.shootdowns);
     object.set("pom_l2_cache_service_rate",
                summary.pomL2CacheServiceRate);
     object.set("pom_l3_cache_service_rate",
@@ -496,8 +497,8 @@ SweepResultWriter::fromJson(const JsonValue &document)
         }
         // The JSON stores machine-wide totals, not the per-core
         // breakdown; reconstruct them as one aggregate pseudo-core
-        // so RunResult's total*() accessors (and a re-serialisation)
-        // reproduce the written values.
+        // so RunResult::totals() (and a re-serialisation) reproduces
+        // the written values.
         CoreRunStats aggregate;
         aggregate.refs = summary.at("refs").asUint();
         aggregate.translationCycles = out.translationCycles;

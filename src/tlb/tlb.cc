@@ -12,11 +12,16 @@ SetAssocTlb::SetAssocTlb(const TlbConfig &config,
       sets(config.numSets()),
       ways(config.associativity),
       entries(config.entries),
-      policy(ReplacementPolicy::create(replacement, config.numSets(),
-                                       config.associativity)),
+      stamps(config.entries, 0),
       statGroup(config.name)
 {
     tlbConfig.validate();
+    // Default LRU is inlined over the stamps vector; only the other
+    // policies pay for a polymorphic object (see victimWay()).
+    if (replacement != ReplacementKind::Lru) {
+        policy = ReplacementPolicy::create(
+            replacement, config.numSets(), config.associativity);
+    }
     statGroup.addCounter("hits", hitCount);
     statGroup.addCounter("misses", missCount);
     statGroup.addCounter("insertions", insertions);
@@ -40,7 +45,7 @@ SetAssocTlb::lookup(PageNum vpn, PageSize size, VmId vm, ProcessId pid)
     TlbEntry *base = &entries[set * ways];
     for (unsigned way = 0; way < ways; ++way) {
         if (base[way].matches(vpn, vm, pid, size)) {
-            policy->touch(set, way);
+            touchWay(set, way);
             ++hitCount;
             return {true, base[way].pfn};
         }
@@ -70,24 +75,34 @@ SetAssocTlb::insert(PageNum vpn, PageSize size, VmId vm, ProcessId pid,
     TlbEntry *base = &entries[set * ways];
     ++insertions;
 
-    // Refresh in place if already present (duplicate fill).
+    // One pass finds a matching entry (refresh in place — a duplicate
+    // fill), the first free way, and — for the inlined default LRU —
+    // the oldest-stamp victim. At most one way can match, so merging
+    // the scans changes nothing observable; the running minimum is
+    // only consumed when the loop covered every way (no match, no
+    // free way), and strict '<' keeps victimWay()'s lowest-way
+    // tie-break.
+    const std::uint64_t *set_stamps = stamps.data() + set * ways;
+    const bool inline_lru = !policy;
+    unsigned target = ways;
+    unsigned min_way = 0;
+    std::uint64_t min_stamp = ~std::uint64_t{0};
     for (unsigned way = 0; way < ways; ++way) {
         if (base[way].matches(vpn, vm, pid, size)) {
             base[way].pfn = pfn;
-            policy->touch(set, way);
+            touchWay(set, way);
             return;
+        }
+        if (target == ways && !base[way].valid)
+            target = way;
+        if (inline_lru && set_stamps[way] < min_stamp) {
+            min_stamp = set_stamps[way];
+            min_way = way;
         }
     }
 
-    unsigned target = ways;
-    for (unsigned way = 0; way < ways; ++way) {
-        if (!base[way].valid) {
-            target = way;
-            break;
-        }
-    }
     if (target == ways) {
-        target = policy->victim(set);
+        target = inline_lru ? min_way : victimWay(set);
         ++evictions;
         --validEntries;
     }
@@ -100,7 +115,7 @@ SetAssocTlb::insert(PageNum vpn, PageSize size, VmId vm, ProcessId pid,
     entry.pfn = pfn;
     entry.pageSize = size;
     ++validEntries;
-    policy->touch(set, target);
+    touchWay(set, target);
 }
 
 bool
@@ -112,7 +127,7 @@ SetAssocTlb::invalidatePage(PageNum vpn, PageSize size, VmId vm,
     for (unsigned way = 0; way < ways; ++way) {
         if (base[way].matches(vpn, vm, pid, size)) {
             base[way].valid = false;
-            policy->invalidate(set, way);
+            forgetWay(set, way);
             --validEntries;
             ++shootdowns;
             return true;
@@ -130,7 +145,7 @@ SetAssocTlb::invalidateVm(VmId vm)
         for (unsigned way = 0; way < ways; ++way) {
             if (base[way].valid && base[way].vmId == vm) {
                 base[way].valid = false;
-                policy->invalidate(set, way);
+                forgetWay(set, way);
                 --validEntries;
                 ++dropped;
             }
@@ -149,7 +164,7 @@ SetAssocTlb::flush()
         for (unsigned way = 0; way < ways; ++way) {
             if (base[way].valid) {
                 base[way].valid = false;
-                policy->invalidate(set, way);
+                forgetWay(set, way);
                 ++dropped;
             }
         }

@@ -71,10 +71,58 @@ class SetAssocTlb
   private:
     std::uint64_t setIndex(PageNum vpn, VmId vm) const;
 
+    /** Note a use of [set, way] in the replacement state. */
+    void
+    touchWay(std::uint64_t set, unsigned way)
+    {
+        if (policy)
+            policy->touch(set, way);
+        else
+            stamps[set * ways + way] = ++lruClock;
+    }
+
+    /** Forget a way's use history after an invalidation. */
+    void
+    forgetWay(std::uint64_t set, unsigned way)
+    {
+        if (policy)
+            policy->invalidate(set, way);
+        else
+            stamps[set * ways + way] = 0;
+    }
+
+    /** Pick the eviction victim in @p set. */
+    unsigned
+    victimWay(std::uint64_t set)
+    {
+        if (policy)
+            return policy->victim(set);
+        // Inline LRU: oldest stamp, lowest way on ties — identical
+        // to LruPolicy::victim (the stamps follow the same updates).
+        const std::uint64_t base = set * ways;
+        unsigned best = 0;
+        std::uint64_t best_stamp = stamps[base];
+        for (unsigned way = 1; way < ways; ++way) {
+            if (stamps[base + way] < best_stamp) {
+                best_stamp = stamps[base + way];
+                best = way;
+            }
+        }
+        return best;
+    }
+
     TlbConfig tlbConfig;
     std::uint64_t sets;
     unsigned ways;
     std::vector<TlbEntry> entries;
+    /**
+     * Per-way recency stamps for the inlined default-LRU policy
+     * (kept outside TlbEntry, which keeps the paper's 16-byte
+     * Figure 5 layout). Unused when a polymorphic policy is set.
+     */
+    std::vector<std::uint64_t> stamps;
+    std::uint64_t lruClock = 0;
+    /** Non-null only for non-LRU replacement (LRU is inlined). */
     std::unique_ptr<ReplacementPolicy> policy;
     std::uint64_t validEntries = 0;
 

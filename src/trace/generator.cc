@@ -240,6 +240,17 @@ TraceGenerator::mixedAddr()
     return phaseStreaming ? streamingAddr() : zipfAddr();
 }
 
+std::size_t
+TraceGenerator::fill(TraceRecord *out, std::size_t n)
+{
+    // next() is defined in this translation unit, so the compiler
+    // inlines the whole record construction into this loop — the
+    // per-record cost is pattern dispatch only, no call overhead.
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = next();
+    return n;
+}
+
 TraceRecord
 TraceGenerator::next()
 {

@@ -12,6 +12,7 @@
 #ifndef POMTLB_TRACE_GENERATOR_HH
 #define POMTLB_TRACE_GENERATOR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -38,6 +39,17 @@ class TraceGenerator
 
     /** Produce the next reference. */
     TraceRecord next();
+
+    /**
+     * Produce @p n references into the caller-owned block @p out.
+     *
+     * The generator is endless, so exactly @p n records are always
+     * written (and @p n is returned); the sequence is identical to
+     * @p n successive next() calls. One non-inlined call per block
+     * instead of one per record is what keeps the engine's batched
+     * hot path cheap.
+     */
+    std::size_t fill(TraceRecord *out, std::size_t n);
 
     /** Page size of the 2 MB region containing @p vaddr. */
     PageSize pageSizeOf(Addr vaddr) const;

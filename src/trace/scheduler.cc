@@ -16,7 +16,18 @@ TraceScheduler::addStream(std::unique_ptr<TraceGenerator> generator)
 void
 TraceScheduler::prime(Stream &stream)
 {
-    stream.pending = stream.gen->next();
+    // Records are drawn from a per-stream batch buffer refilled via
+    // the generator's batched fill(); the consumption order — and so
+    // the merge — is identical to per-record next() calls.
+    if (stream.bufferPos >= stream.buffer.size()) {
+        stream.buffer.resize(batchSize);
+        const std::size_t got =
+            stream.gen->fill(stream.buffer.data(), batchSize);
+        stream.buffer.resize(got);
+        stream.bufferPos = 0;
+        simAssert(got > 0, "generator produced no records");
+    }
+    stream.pending = stream.buffer[stream.bufferPos++];
     stream.instCount += stream.pending.instGap + 1;
     stream.primed = true;
 }

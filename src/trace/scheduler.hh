@@ -11,6 +11,7 @@
 #ifndef POMTLB_TRACE_SCHEDULER_HH
 #define POMTLB_TRACE_SCHEDULER_HH
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -55,9 +56,15 @@ class TraceScheduler
     TraceGenerator &generator(CoreId core) { return *streams[core].gen; }
 
   private:
+    /** Records fetched per TraceGenerator::fill() batch. */
+    static constexpr std::size_t batchSize = 256;
+
     struct Stream
     {
         std::unique_ptr<TraceGenerator> gen;
+        /** Per-stream batch buffer (filled via gen->fill()). */
+        std::vector<TraceRecord> buffer;
+        std::size_t bufferPos = 0;
         TraceRecord pending;
         InstCount instCount = 0;
         bool primed = false;

@@ -7,14 +7,23 @@
  * (trace/trace_file.hh). Sources must be rewindable so the engine's
  * steady-state pre-population pass can replay the exact stream the
  * timed run will issue.
+ *
+ * The primitive operation is the batched fill(): the caller owns a
+ * TraceRecord block and the source writes up to @c n records into it
+ * in one virtual call, which is what lets the engine amortise the
+ * dispatch over a whole execution block. A non-virtual next() shim
+ * remains for tests and other single-stepping callers; it is exactly
+ * fill() of one record.
  */
 
 #ifndef POMTLB_TRACE_SOURCE_HH
 #define POMTLB_TRACE_SOURCE_HH
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
+#include "common/log.hh"
 #include "trace/generator.hh"
 #include "trace/record.hh"
 #include "trace/trace_file.hh"
@@ -28,8 +37,31 @@ class TraceSource
   public:
     virtual ~TraceSource() = default;
 
-    /** Produce the next reference. */
-    virtual TraceRecord next() = 0;
+    /**
+     * Produce up to @p n records into the caller-owned block @p out.
+     *
+     * Returns the number of records written. Endless sources (the
+     * synthetic generators, wrapping file replays) always return
+     * @p n; a finite source returns fewer — possibly zero — once
+     * exhausted (a short read). Records are written in stream order
+     * and the stream position advances by exactly the returned count,
+     * so interleaving fill() and next() is well defined.
+     */
+    virtual std::size_t fill(TraceRecord *out, std::size_t n) = 0;
+
+    /**
+     * Single-record convenience shim over fill() (fatal if the
+     * source is exhausted). Kept non-virtual so fill() stays the one
+     * primitive implementations provide.
+     */
+    TraceRecord
+    next()
+    {
+        TraceRecord record;
+        const std::size_t got = fill(&record, 1);
+        simAssert(got == 1, "trace source exhausted");
+        return record;
+    }
 
     /** Restart the stream from its beginning. */
     virtual void rewind() = 0;
@@ -49,7 +81,11 @@ class GeneratorSource : public TraceSource
     {
     }
 
-    TraceRecord next() override { return generator.next(); }
+    std::size_t
+    fill(TraceRecord *out, std::size_t n) override
+    {
+        return generator.fill(out, n);
+    }
 
     void
     rewind() override
@@ -82,7 +118,12 @@ class FileSource : public TraceSource
     {
     }
 
-    TraceRecord next() override { return reader.next(); }
+    std::size_t
+    fill(TraceRecord *out, std::size_t n) override
+    {
+        return reader.fill(out, n);
+    }
+
     void rewind() override { reader.rewind(); }
 
     std::string

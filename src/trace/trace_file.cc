@@ -1,5 +1,6 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.hh"
@@ -155,6 +156,28 @@ TraceFileReader::next()
         index = 0;
     }
     return records[index++];
+}
+
+std::size_t
+TraceFileReader::fill(TraceRecord *out, std::size_t n)
+{
+    std::size_t produced = 0;
+    while (produced < n) {
+        if (index >= count) {
+            if (!wrapAround)
+                break; // short read: the caller sees EOF as < n
+            index = 0;
+        }
+        const std::uint64_t available = count - index;
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n - produced, available));
+        std::copy_n(records.begin() +
+                        static_cast<std::ptrdiff_t>(index),
+                    chunk, out + produced);
+        produced += chunk;
+        index += chunk;
+    }
+    return produced;
 }
 
 void

@@ -19,6 +19,7 @@
 #ifndef POMTLB_TRACE_TRACE_FILE_HH
 #define POMTLB_TRACE_TRACE_FILE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -73,6 +74,15 @@ class TraceFileReader
 
     /** Read the next record (fatal at EOF when wrap is off). */
     TraceRecord next();
+
+    /**
+     * Copy up to @p n records into the caller-owned block @p out and
+     * return the count copied. With wrap on, exactly @p n records are
+     * produced (the stream restarts as often as needed); with wrap
+     * off, a short read — fewer than @p n, possibly zero — signals
+     * the end of the file without the fatal error next() raises.
+     */
+    std::size_t fill(TraceRecord *out, std::size_t n);
 
     /** Restart from the first record. */
     void rewind();

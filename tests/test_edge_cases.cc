@@ -185,7 +185,7 @@ TEST(EdgeEngine, ZeroWarmup)
     config.engine.warmupRefsPerCore = 0;
     const SchemeRunSummary summary = runScheme(
         ProfileRegistry::byName("gups"), SchemeKind::PomTlb, config);
-    EXPECT_EQ(summary.run.totalRefs(), 100u);
+    EXPECT_EQ(summary.run.totals().refs, 100u);
 }
 
 TEST(EdgeEngine, SingleReference)
@@ -197,7 +197,7 @@ TEST(EdgeEngine, SingleReference)
     const SchemeRunSummary summary = runScheme(
         ProfileRegistry::byName("mcf"), SchemeKind::NestedWalk,
         config);
-    EXPECT_EQ(summary.run.totalRefs(), 1u);
+    EXPECT_EQ(summary.run.totals().refs, 1u);
 }
 
 } // namespace

@@ -46,7 +46,7 @@ TEST(Engine, RunProducesPerCoreStats)
         EXPECT_GT(core.instructions, core.refs);
         EXPECT_GT(core.cycles, 0u);
     }
-    EXPECT_EQ(result.totalRefs(), 6000u);
+    EXPECT_EQ(result.totals().refs, 6000u);
 }
 
 TEST(Engine, DeterministicAcrossRuns)
@@ -60,8 +60,8 @@ TEST(Engine, DeterministicAcrossRuns)
     SimulationEngine engine_b(machine_b, profile, quickEngine());
     const RunResult b = engine_b.run();
 
-    EXPECT_EQ(a.totalTranslationCycles(), b.totalTranslationCycles());
-    EXPECT_EQ(a.totalLastLevelMisses(), b.totalLastLevelMisses());
+    EXPECT_EQ(a.totals().translationCycles, b.totals().translationCycles);
+    EXPECT_EQ(a.totals().lastLevelMisses, b.totals().lastLevelMisses);
     for (std::size_t i = 0; i < a.cores.size(); ++i)
         EXPECT_EQ(a.cores[i].cycles, b.cores[i].cycles);
 }
@@ -79,8 +79,8 @@ TEST(Engine, SeedChangesResults)
     Machine machine_b(twoCores(), SchemeKind::PomTlb);
     const RunResult b =
         SimulationEngine(machine_b, profile, config_b).run();
-    EXPECT_NE(a.totalTranslationCycles(),
-              b.totalTranslationCycles());
+    EXPECT_NE(a.totals().translationCycles,
+              b.totals().translationCycles);
 }
 
 TEST(Engine, PrepopulationEliminatesColdWalks)
@@ -97,8 +97,8 @@ TEST(Engine, PrepopulationEliminatesColdWalks)
     const RunResult cold =
         SimulationEngine(machine_b, profile, without).run();
 
-    EXPECT_LT(pre.walkFraction(), 0.02);
-    EXPECT_GT(cold.walkFraction(), pre.walkFraction());
+    EXPECT_LT(pre.totals().walkFraction, 0.02);
+    EXPECT_GT(cold.totals().walkFraction, pre.totals().walkFraction);
 }
 
 TEST(Engine, WarmupStatsAreDiscarded)
@@ -111,7 +111,7 @@ TEST(Engine, WarmupStatsAreDiscarded)
     std::uint64_t translations = 0;
     for (CoreId core = 0; core < 2; ++core)
         translations += machine.mmu(core).translationCount();
-    EXPECT_EQ(translations, result.totalRefs());
+    EXPECT_EQ(translations, result.totals().refs);
 }
 
 TEST(Engine, MultiVmPlacement)
@@ -132,9 +132,9 @@ TEST(Engine, BaselineWalksEveryMiss)
     Machine machine(twoCores(), SchemeKind::NestedWalk);
     SimulationEngine engine(machine, profile, quickEngine());
     const RunResult result = engine.run();
-    EXPECT_GT(result.totalLastLevelMisses(), 0u);
-    EXPECT_DOUBLE_EQ(result.walkFraction(), 1.0);
-    EXPECT_GT(result.avgPenaltyPerMiss(), 0.0);
+    EXPECT_GT(result.totals().lastLevelMisses, 0u);
+    EXPECT_DOUBLE_EQ(result.totals().walkFraction, 1.0);
+    EXPECT_GT(result.totals().avgPenaltyPerMiss, 0.0);
 }
 
 TEST(Engine, FileSourcesDriveTheMachine)
@@ -159,9 +159,9 @@ TEST(Engine, FileSourcesDriveTheMachine)
     SimulationEngine engine(machine, profile, config,
                             std::move(sources));
     const RunResult result = engine.run();
-    EXPECT_EQ(result.totalRefs(), 4000u);
+    EXPECT_EQ(result.totals().refs, 4000u);
     // Pre-population still covers every page: no walks.
-    EXPECT_LT(result.walkFraction(), 0.01);
+    EXPECT_LT(result.totals().walkFraction, 0.01);
     std::remove(path.c_str());
 }
 
@@ -194,8 +194,8 @@ TEST(Engine, PomReducesPenaltyVersusBaseline)
     const RunResult pom_result =
         SimulationEngine(pom, profile, config).run();
 
-    EXPECT_LT(pom_result.totalTranslationCycles(),
-              base_result.totalTranslationCycles());
+    EXPECT_LT(pom_result.totals().translationCycles,
+              base_result.totals().translationCycles);
 }
 
 } // namespace

@@ -319,10 +319,10 @@ TEST(Shootdown, InjectionCountsAndCharges)
         machine, ProfileRegistry::byName("mcf"), config.engine);
     const RunResult result = engine.run();
     // 20000 measured refs at one shootdown per 1000.
-    EXPECT_NEAR(static_cast<double>(result.totalShootdowns()), 20.0,
+    EXPECT_NEAR(static_cast<double>(result.totals().shootdowns), 20.0,
                 2.0);
     // Shot-down pages must be re-fetched: a few walks reappear.
-    EXPECT_GT(result.totalPageWalks(), 0u);
+    EXPECT_GT(result.totals().pageWalks, 0u);
 }
 
 TEST(Shootdown, RareShootdownsBarelyAffectPom)

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "trace/generator.hh"
 
@@ -221,6 +222,29 @@ TEST(Generator, WriteFractionApproximatesProfile)
         writes += gen.next().type == AccessType::Write ? 1 : 0;
     EXPECT_NEAR(static_cast<double>(writes) / n,
                 profile.writeFraction, 0.05);
+}
+
+TEST(Generator, FillMatchesRepeatedNext)
+{
+    const auto &profile = ProfileRegistry::byName("mcf");
+    TraceGenerator batched(profile, 2, 42);
+    TraceGenerator scalar(profile, 2, 42);
+
+    // Uneven block sizes, including 0 and 1, must concatenate to the
+    // exact scalar stream — the contract the engine's batching
+    // relies on.
+    std::vector<TraceRecord> block(1024);
+    const std::size_t sizes[] = {7, 1, 0, 512, 3, 64};
+    for (const std::size_t n : sizes) {
+        ASSERT_EQ(batched.fill(block.data(), n), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceRecord expected = scalar.next();
+            EXPECT_EQ(block[i].vaddr, expected.vaddr);
+            EXPECT_EQ(block[i].instGap, expected.instGap);
+            EXPECT_EQ(block[i].type, expected.type);
+            EXPECT_EQ(block[i].pageSize, expected.pageSize);
+        }
+    }
 }
 
 } // namespace

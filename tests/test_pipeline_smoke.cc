@@ -81,7 +81,7 @@ TEST(PipelineSmoke, MixedTenantsFlow)
                             config.engine, std::move(sources));
     const RunResult result = engine.run();
     EXPECT_EQ(result.cores.size(), 2u);
-    EXPECT_LT(result.walkFraction(), 0.05);
+    EXPECT_LT(result.totals().walkFraction, 0.05);
     EXPECT_EQ(machine.memoryMap().vmCount(), 2u);
 }
 
@@ -104,7 +104,7 @@ TEST(PipelineSmoke, RecordReplayFlow)
                             ProfileRegistry::byName("canneal"),
                             config.engine, std::move(sources));
     const RunResult result = engine.run();
-    EXPECT_EQ(result.totalRefs(), 10000u);
+    EXPECT_EQ(result.totals().refs, 10000u);
     std::remove(path.c_str());
 }
 

@@ -158,7 +158,7 @@ TEST_P(BenchmarkSweepTest, SchemePenaltiesArePositiveAndBounded)
           SchemeKind::SharedL2, SchemeKind::Tsb}) {
         const SchemeRunSummary summary = runScheme(
             ProfileRegistry::byName(GetParam()), kind, config);
-        if (summary.run.totalLastLevelMisses() == 0)
+        if (summary.run.totals().lastLevelMisses == 0)
             continue; // nothing to measure for this workload
         EXPECT_GT(summary.avgPenaltyPerMiss, 0.0)
             << GetParam() << "/" << schemeKindName(kind);

@@ -95,13 +95,13 @@ TEST(StatsExport, CycleTotalsExactlyMatchEngineForEveryScheme)
 
         // Document totals == the engine's per-core aggregate.
         EXPECT_EQ(totals.at("translation_cycles").asUint(),
-                  out.result.totalTranslationCycles());
+                  out.result.totals().translationCycles);
         EXPECT_EQ(totals.at("refs").asUint(),
-                  out.result.totalRefs());
+                  out.result.totals().refs);
         EXPECT_EQ(totals.at("last_level_tlb_misses").asUint(),
-                  out.result.totalLastLevelMisses());
+                  out.result.totals().lastLevelMisses);
         EXPECT_EQ(totals.at("page_walks").asUint(),
-                  out.result.totalPageWalks());
+                  out.result.totals().pageWalks);
 
         // Exact split: translation == sram + scheme.
         EXPECT_EQ(totals.at("sram_cycles").asUint() +
@@ -134,7 +134,7 @@ TEST(StatsExport, TraceMetadataPresentWhenTracing)
     const JsonValue &trace = doc.at("trace");
     EXPECT_EQ(trace.at("sample_interval").asUint(), 16u);
     EXPECT_EQ(trace.at("capacity").asUint(), 256u);
-    EXPECT_EQ(trace.at("seen").asUint(), out.result.totalRefs());
+    EXPECT_EQ(trace.at("seen").asUint(), out.result.totals().refs);
     EXPECT_GE(trace.at("recorded").asUint(),
               trace.at("held").asUint());
 }

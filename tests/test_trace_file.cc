@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "trace/generator.hh"
 #include "trace/trace_file.hh"
@@ -147,6 +148,94 @@ TEST_F(TraceFileTest, FlagsEncodeBothDimensions)
     EXPECT_EQ(record.type, AccessType::Write);
     EXPECT_EQ(record.pageSize, PageSize::Large2M);
     EXPECT_EQ(record.instGap, 77u);
+}
+
+// -- fill() batched-read edges ------------------------------------
+
+TEST_F(TraceFileTest, FillShortReadSignalsEndWithoutWrap)
+{
+    const auto &profile = ProfileRegistry::byName("mcf");
+    TraceGenerator generator(profile, 0, 42);
+    EXPECT_EQ(recordTrace(generator, path, 10), 10u);
+
+    TraceFileReader reader(path, /*wrap=*/false);
+    std::vector<TraceRecord> block(16);
+
+    // Over-asking yields only what remains...
+    EXPECT_EQ(reader.fill(block.data(), 16), 10u);
+    // ...and an exhausted reader short-reads zero, repeatedly,
+    // instead of raising next()'s fatal error.
+    EXPECT_EQ(reader.fill(block.data(), 16), 0u);
+    EXPECT_EQ(reader.fill(block.data(), 1), 0u);
+}
+
+TEST_F(TraceFileTest, FillAfterRewindReplaysIdentically)
+{
+    const auto &profile = ProfileRegistry::byName("gups");
+    TraceGenerator generator(profile, 0, 7);
+    EXPECT_EQ(recordTrace(generator, path, 64), 64u);
+
+    TraceFileReader reader(path, /*wrap=*/false);
+    std::vector<TraceRecord> first(64), second(64);
+    EXPECT_EQ(reader.fill(first.data(), 64), 64u);
+
+    reader.rewind();
+    EXPECT_EQ(reader.position(), 0u);
+    EXPECT_EQ(reader.fill(second.data(), 64), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(first[i].vaddr, second[i].vaddr) << "record " << i;
+}
+
+TEST_F(TraceFileTest, FillWrapsExactlyLikeRepeatedNext)
+{
+    const auto &profile = ProfileRegistry::byName("mcf");
+    TraceGenerator generator(profile, 0, 3);
+    EXPECT_EQ(recordTrace(generator, path, 5), 5u);
+
+    // A wrapping fill() crossing the file boundary several times
+    // must equal the same count of wrapping next() calls.
+    TraceFileReader batched(path, /*wrap=*/true);
+    TraceFileReader scalar(path, /*wrap=*/true);
+    std::vector<TraceRecord> block(13);
+    EXPECT_EQ(batched.fill(block.data(), 13), 13u);
+    for (int i = 0; i < 13; ++i) {
+        const TraceRecord expected = scalar.next();
+        EXPECT_EQ(block[i].vaddr, expected.vaddr) << "record " << i;
+        EXPECT_EQ(block[i].instGap, expected.instGap);
+    }
+    // Both cursors agree on where the wrapped stream stands.
+    EXPECT_EQ(batched.position(), scalar.position());
+}
+
+TEST_F(TraceFileTest, FillAndNextInterleaveOnOneCursor)
+{
+    const auto &profile = ProfileRegistry::byName("mcf");
+    TraceGenerator generator(profile, 0, 11);
+    EXPECT_EQ(recordTrace(generator, path, 20), 20u);
+
+    TraceFileReader reader(path, /*wrap=*/false);
+    TraceFileReader reference(path, /*wrap=*/false);
+
+    const TraceRecord one = reader.next();
+    std::vector<TraceRecord> block(8);
+    EXPECT_EQ(reader.fill(block.data(), 8), 8u);
+    const TraceRecord after = reader.next();
+
+    EXPECT_EQ(one.vaddr, reference.next().vaddr);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(block[i].vaddr, reference.next().vaddr);
+    EXPECT_EQ(after.vaddr, reference.next().vaddr);
+}
+
+TEST_F(TraceFileTest, FillZeroIsANoOp)
+{
+    const auto &profile = ProfileRegistry::byName("mcf");
+    TraceGenerator generator(profile, 0, 42);
+    EXPECT_EQ(recordTrace(generator, path, 4), 4u);
+
+    TraceFileReader reader(path, /*wrap=*/false);
+    EXPECT_EQ(reader.fill(nullptr, 0), 0u);
+    EXPECT_EQ(reader.position(), 0u);
 }
 
 } // namespace

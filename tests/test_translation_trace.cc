@@ -131,7 +131,7 @@ TEST(TranslationTracer, MachineWiringRecordsMeasuredPhaseOnly)
 
     // The warmup-boundary stats reset also resets the tracer, so the
     // sampler saw exactly the measured-phase translations.
-    EXPECT_EQ(tracer.seenCount(), result.totalRefs());
+    EXPECT_EQ(tracer.seenCount(), result.totals().refs);
     EXPECT_GT(tracer.size(), 0u);
     EXPECT_EQ(tracer.recordedCount(),
               (tracer.seenCount() + 7) / 8);

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Golden-fixture generator for the engine determinism tests.
+ *
+ * Emits, for each (scheme, core count) combination of the golden
+ * configuration, one JSON document that captures everything a
+ * simulation run produces: the per-core RunResult and the full
+ * `pomtlb-stats-v1` export. tests/test_engine_golden.cc compares the
+ * same documents built by the current engine byte-for-byte against
+ * the checked-in copies under tests/golden/.
+ *
+ * The checked-in fixtures were generated at the last commit BEFORE
+ * the batched-engine rewrite, so the test proves the rewrite changed
+ * no simulated outcome. Regenerate (only when an intentional
+ * modelling change lands) with:
+ *
+ *     ./build/tools/gen_golden_fixtures tests/golden
+ *
+ * The golden configuration (mirrored in the test — keep in sync):
+ * benchmark mcf and gups, schemes all four, cores {2, 4}, 3000
+ * measured + 1500 warmup refs per core, seed 42, SystemConfig::table1
+ * with only numCores overridden.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+#include "sim/stats_export.hh"
+#include "trace/profile.hh"
+
+namespace pomtlb
+{
+
+/** Serialise one CoreRunStats as a JSON object. */
+static JsonValue
+coreStatsToJson(const CoreRunStats &core)
+{
+    JsonValue object = JsonValue::object();
+    object.set("refs", core.refs);
+    object.set("instructions", core.instructions);
+    object.set("cycles", core.cycles);
+    object.set("translation_cycles", core.translationCycles);
+    object.set("l1_tlb_hits", core.l1TlbHits);
+    object.set("l2_tlb_hits", core.l2TlbHits);
+    object.set("last_level_tlb_misses", core.lastLevelTlbMisses);
+    object.set("avg_penalty_per_miss", core.avgPenaltyPerMiss);
+    object.set("page_walks", core.pageWalks);
+    object.set("shootdowns", core.shootdowns);
+    return object;
+}
+
+/**
+ * Build the golden document for one run: the per-core RunResult plus
+ * the full pomtlb-stats-v1 export. test_engine_golden.cc builds the
+ * identical structure and compares serialised bytes.
+ */
+JsonValue
+buildGoldenDocument(Machine &machine, const RunResult &result,
+                    const std::string &benchmark)
+{
+    JsonValue doc = JsonValue::object();
+    JsonValue cores = JsonValue::array();
+    for (const CoreRunStats &core : result.cores)
+        cores.push(coreStatsToJson(core));
+    JsonValue run = JsonValue::object();
+    run.set("cores", std::move(cores));
+    doc.set("run_result", std::move(run));
+    doc.set("stats", buildStatsDocument(machine, result, benchmark));
+    return doc;
+}
+
+} // namespace pomtlb
+
+int
+main(int argc, char **argv)
+{
+    using namespace pomtlb;
+
+    const std::string out_dir = argc > 1 ? argv[1] : "tests/golden";
+
+    const std::vector<std::string> benchmarks = {"mcf", "gups"};
+    const std::vector<unsigned> core_counts = {2, 4};
+
+    for (const std::string &bench : benchmarks) {
+        const BenchmarkProfile &profile =
+            ProfileRegistry::byName(bench);
+        for (const unsigned cores : core_counts) {
+            for (const SchemeKind kind : allSchemeKinds()) {
+                SystemConfig system = SystemConfig::table1();
+                system.numCores = cores;
+
+                EngineConfig engine_config;
+                engine_config.refsPerCore = 3000;
+                engine_config.warmupRefsPerCore = 1500;
+                engine_config.seed = 42;
+
+                Machine machine(system, kind);
+                SimulationEngine engine(machine, profile,
+                                        engine_config);
+                const RunResult result = engine.run();
+
+                const JsonValue doc = buildGoldenDocument(
+                    machine, result, profile.name);
+
+                const std::string path =
+                    out_dir + "/golden_" + bench + "_" +
+                    schemeKindName(kind) + "_c" +
+                    std::to_string(cores) + ".json";
+                std::ofstream out(path);
+                if (!out) {
+                    std::fprintf(stderr, "cannot open %s\n",
+                                 path.c_str());
+                    return 1;
+                }
+                doc.write(out);
+                out << "\n";
+                std::printf("wrote %s\n", path.c_str());
+            }
+        }
+    }
+    return 0;
+}

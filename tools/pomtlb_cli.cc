@@ -347,21 +347,21 @@ commandRun(const CliOptions &options)
     std::printf("scheme                : %s\n", schemeKindName(kind));
     std::printf("mode                  : %s\n",
                 execModeName(config.system.mode));
+    const RunTotals &totals = result.totals();
     std::printf("refs (measured)       : %llu\n",
-                static_cast<unsigned long long>(result.totalRefs()));
+                static_cast<unsigned long long>(totals.refs));
     std::printf("L2 TLB misses         : %llu\n",
                 static_cast<unsigned long long>(
-                    result.totalLastLevelMisses()));
+                    totals.lastLevelMisses));
     std::printf("avg penalty per miss  : %.2f cycles\n",
-                result.avgPenaltyPerMiss());
+                totals.avgPenaltyPerMiss);
     std::printf("page walks            : %llu (%.2f%% of misses)\n",
-                static_cast<unsigned long long>(
-                    result.totalPageWalks()),
-                100.0 * result.walkFraction());
-    if (result.totalShootdowns() > 0) {
+                static_cast<unsigned long long>(totals.pageWalks),
+                100.0 * totals.walkFraction);
+    if (totals.shootdowns > 0) {
         std::printf("shootdowns injected   : %llu\n",
                     static_cast<unsigned long long>(
-                        result.totalShootdowns()));
+                        totals.shootdowns));
     }
     if (PomTlbScheme *pom = machine.pomTlbScheme()) {
         std::printf("served by L2D$/L3D$   : %.1f%% / %.1f%% (of "
@@ -543,17 +543,18 @@ commandReplayTrace(const CliOptions &options)
                             std::move(sources));
     const RunResult result = engine.run();
 
+    const RunTotals &totals = result.totals();
     std::printf("replayed %llu refs from %zu trace file(s) under "
                 "%s\n",
-                static_cast<unsigned long long>(result.totalRefs()),
+                static_cast<unsigned long long>(totals.refs),
                 options.tracePaths.size(), schemeKindName(kind));
     std::printf("L2 TLB misses         : %llu\n",
                 static_cast<unsigned long long>(
-                    result.totalLastLevelMisses()));
+                    totals.lastLevelMisses));
     std::printf("avg penalty per miss  : %.2f cycles\n",
-                result.avgPenaltyPerMiss());
+                totals.avgPenaltyPerMiss);
     std::printf("page walks            : %.2f%% of misses\n",
-                100.0 * result.walkFraction());
+                100.0 * totals.walkFraction);
     return 0;
 }
 
