@@ -38,9 +38,11 @@ const std::vector<ServicePoint> &
 reportedPoints()
 {
     static const std::vector<ServicePoint> points = {
-        ServicePoint::CacheL2D,  ServicePoint::CacheL3D,
-        ServicePoint::PomDram,   ServicePoint::SharedTlb,
-        ServicePoint::TsbBuffer, ServicePoint::PageWalk};
+        ServicePoint::CacheL2D,     ServicePoint::CacheL3D,
+        ServicePoint::PomDram,      ServicePoint::SharedTlb,
+        ServicePoint::TsbBuffer,    ServicePoint::CoalescedTlb,
+        ServicePoint::VictimaL2D,   ServicePoint::VictimaL3D,
+        ServicePoint::PageWalk};
     return points;
 }
 
@@ -52,7 +54,7 @@ runBreakdown(::benchmark::State &state,
     for (auto _ : state) {
         const BenchmarkComparison comparison =
             compareSchemes(profile, config);
-        for (const auto &[kind, summary] : comparison.runs) {
+        for (const auto &[scheme, summary] : comparison.runs) {
             const double total = summary.translationCycles
                                      ? static_cast<double>(
                                            summary.translationCycles)
@@ -71,8 +73,7 @@ runBreakdown(::benchmark::State &state,
                     std::string(servicePointName(point)) + " %",
                     100.0 * cycles / total);
             }
-            collector().record(profile.name + "/" +
-                                   schemeKindName(kind),
+            collector().record(profile.name + "/" + scheme,
                                std::move(row));
         }
         state.counters["schemes"] =

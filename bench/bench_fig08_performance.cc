@@ -26,15 +26,14 @@ runFig8(::benchmark::State &state, const BenchmarkProfile &profile)
     for (auto _ : state) {
         const BenchmarkComparison comparison =
             compareSchemes(profile, config);
-        // Runs/deltas are keyed by SchemeKind, so a fifth scheme
-        // shows up here without editing this bench.
+        // Runs/deltas are keyed by registry scheme name, so new
+        // contenders show up here without editing this bench.
         std::vector<std::pair<std::string, double>> row;
-        for (const auto &[kind, summary] : comparison.runs) {
+        for (const auto &[name, summary] : comparison.runs) {
             (void)summary;
-            if (kind == SchemeKind::NestedWalk)
+            if (name == schemeKindName(SchemeKind::NestedWalk))
                 continue;
-            const std::string name = schemeKindName(kind);
-            const SchemeDelta &delta = comparison.delta(kind);
+            const SchemeDelta &delta = comparison.delta(name);
             state.counters[name + "_improvement_pct"] =
                 delta.improvementPct;
             row.emplace_back(name + " (%)", delta.improvementPct);

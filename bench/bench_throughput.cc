@@ -19,12 +19,18 @@
  *
  * Usage:
  *     bench_throughput [--quick] [--out FILE] [--reps N] [--jobs N]
+ *                      [--schemes a,b,c]
  *
  *   --quick   CI-sized runs (fewer cores/refs, default reps 2);
  *   --out     output path (default BENCH_throughput.json);
  *   --reps    timing repetitions per cell, best-of-N (default 3);
  *   --jobs    worker threads for the sweep section (default 4,
- *             capped by the host's hardware concurrency).
+ *             capped by the host's hardware concurrency);
+ *   --schemes comma list of registry scheme names (or `all`) to
+ *             measure instead of the default cells. The default is
+ *             the paper's four schemes so the checked-in baseline
+ *             document keeps its cell set (check_bench.py geomean);
+ *             newer contenders are opt-in through this flag.
  *
  * Each cell is measured reps times and the best (lowest-wall) run is
  * reported: minimum-of-N is the standard estimator for "time with
@@ -44,6 +50,7 @@
 #include "common/json.hh"
 #include "sim/engine.hh"
 #include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 #include "sim/sweep.hh"
 #include "trace/profile.hh"
 
@@ -97,7 +104,48 @@ struct Options
     std::string outPath = "BENCH_throughput.json";
     unsigned reps = 0;  // 0 = default for the mode
     unsigned jobs = 4;
+    std::string schemesList; // empty = the default (legacy) cells
 };
+
+/**
+ * Resolve --schemes into canonical registry names. Empty input
+ * yields the paper's four schemes — the cell set of the checked-in
+ * baseline document — so new registrations never silently perturb
+ * the perf-smoke geomean.
+ */
+std::vector<std::string>
+resolveSchemes(const std::string &list)
+{
+    using pomtlb::SchemeRegistry;
+    if (list.empty()) {
+        std::vector<std::string> legacy;
+        for (const pomtlb::SchemeKind kind : pomtlb::allSchemeKinds())
+            legacy.emplace_back(pomtlb::schemeKindName(kind));
+        return legacy;
+    }
+    if (list == "all")
+        return SchemeRegistry::global().names();
+    std::vector<std::string> schemes;
+    std::string current;
+    for (const char c : list + ",") {
+        if (c != ',') {
+            current += c;
+            continue;
+        }
+        if (current.empty())
+            continue;
+        const SchemeRegistry::Info *info =
+            SchemeRegistry::global().find(current);
+        if (info == nullptr) {
+            std::fprintf(stderr, "unknown scheme '%s'\n",
+                         current.c_str());
+            std::exit(1);
+        }
+        schemes.push_back(info->name);
+        current.clear();
+    }
+    return schemes;
+}
 
 } // namespace
 
@@ -117,14 +165,18 @@ main(int argc, char **argv)
             opt.reps = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--jobs" && i + 1 < argc) {
             opt.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (arg == "--schemes" && i + 1 < argc) {
+            opt.schemesList = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--out FILE] "
-                         "[--reps N] [--jobs N]\n",
+                         "[--reps N] [--jobs N] [--schemes a,b,c]\n",
                          argv[0]);
             return 1;
         }
     }
+    const std::vector<std::string> schemes =
+        resolveSchemes(opt.schemesList);
 
     // Sizing: full mode mirrors the default `pomtlb run` shape
     // (Table 1 cores); quick mode is CI-sized — small enough for a
@@ -155,7 +207,7 @@ main(int argc, char **argv)
     for (const std::string &bench : benchmarks) {
         const BenchmarkProfile &profile =
             ProfileRegistry::byName(bench);
-        for (const SchemeKind kind : allSchemeKinds()) {
+        for (const std::string &scheme : schemes) {
             double best_wall = 0.0;
             for (unsigned rep = 0; rep < reps; ++rep) {
                 SystemConfig system = SystemConfig::table1();
@@ -165,7 +217,7 @@ main(int argc, char **argv)
                 engine_config.warmupRefsPerCore = warmup;
                 engine_config.seed = 42;
 
-                Machine machine(system, kind);
+                Machine machine(system, scheme);
                 SimulationEngine engine(machine, profile,
                                         engine_config);
                 const auto start = Clock::now();
@@ -183,12 +235,12 @@ main(int argc, char **argv)
                 static_cast<double>((refs + warmup) * cores) /
                 best_wall;
             std::printf("%-10s %-10s %12.0f refs/s (%.3f s)\n",
-                        bench.c_str(), schemeKindName(kind),
+                        bench.c_str(), scheme.c_str(),
                         refs_per_sec, best_wall);
 
             JsonValue row = JsonValue::object();
             row.set("benchmark", bench);
-            row.set("scheme", std::string(schemeKindName(kind)));
+            row.set("scheme", scheme);
             row.set("refs_per_sec", refs_per_sec);
             row.set("wall_sec", best_wall);
             throughput.push(std::move(row));
@@ -202,9 +254,9 @@ main(int argc, char **argv)
         hw ? std::min(opt.jobs, hw) : opt.jobs;
     std::vector<ExperimentRequest> requests;
     for (const std::string bench : {"mcf", "gups"}) {
-        for (const SchemeKind kind : allSchemeKinds()) {
+        for (const std::string &scheme : schemes) {
             requests.push_back(
-                ExperimentRequest::of(bench, kind)
+                ExperimentRequest::of(bench, scheme)
                     .withCores(opt.quick ? 2 : 4)
                     .withRefs(opt.quick ? 5000 : 20000,
                               opt.quick ? 2500 : 10000));

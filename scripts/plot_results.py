@@ -59,6 +59,9 @@ BREAKDOWN_ORDER = [
     "pom_dram",
     "shared_l2_tlb",
     "tsb_buffer",
+    "coalesced_tlb",
+    "victima_l2d_cache",
+    "victima_l3d_cache",
     "page_walk",
 ]
 

@@ -1,6 +1,8 @@
 #include "baseline/nested_scheme.hh"
 
 #include "common/log.hh"
+#include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 
 namespace pomtlb
 {
@@ -62,5 +64,18 @@ NestedWalkScheme::resetStats()
     walkRefs.reset();
     walkCycleHist.reset();
 }
+
+POMTLB_REGISTER_SCHEME(registerNestedWalk, {
+    .name = "Baseline",
+    .description = "conventional 2D nested page walk with page-table "
+                   "structure caches",
+    .aliases = {"baseline", "nested"},
+    .rank = 0,
+    .legacy = SchemeKind::NestedWalk,
+    .factory = [](const SystemConfig &, Machine &machine)
+        -> std::unique_ptr<TranslationScheme> {
+        return std::make_unique<NestedWalkScheme>(machine.walkerPool());
+    },
+});
 
 } // namespace pomtlb

@@ -1,6 +1,8 @@
 #include "baseline/shared_l2_scheme.hh"
 
 #include "common/log.hh"
+#include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 
 namespace pomtlb
 {
@@ -94,5 +96,26 @@ SharedL2Scheme::resetStats()
     missCycles.reset();
     missCycleHist.reset();
 }
+
+POMTLB_REGISTER_SCHEME(registerSharedL2, {
+    .name = "Shared_L2",
+    .description = "one shared SRAM L2 TLB pooling the private L2 "
+                   "capacities (Bhattacharjee et al.)",
+    .aliases = {"shared", "shared-l2"},
+    .rank = 2,
+    .legacy = SchemeKind::SharedL2,
+    .factory = [](const SystemConfig &config, Machine &machine)
+        -> std::unique_ptr<TranslationScheme> {
+        // Combine the private L2 TLB capacities into one shared
+        // structure; its latency reflects the larger SRAM array plus
+        // the interconnect hop (see analysis/cacti.hh for the trend).
+        TlbConfig shared = config.l2Tlb;
+        shared.name = "shared_l2tlb";
+        shared.entries *= config.numCores;
+        shared.accessLatency = 24;
+        return std::make_unique<SharedL2Scheme>(shared,
+                                                machine.walkerPool());
+    },
+});
 
 } // namespace pomtlb

@@ -2,6 +2,9 @@
 
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "pagetable/memory_map.hh"
+#include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 
 namespace pomtlb
 {
@@ -199,5 +202,25 @@ TsbScheme::tsbHitRate() const
     const std::uint64_t total = hits.value() + misses.value();
     return total ? static_cast<double>(hits.value()) / total : 0.0;
 }
+
+POMTLB_REGISTER_SCHEME(registerTsb, {
+    .name = "TSB",
+    .description = "SPARC-style software-managed translation storage "
+                   "buffer in main memory",
+    .aliases = {"tsb"},
+    .rank = 3,
+    .legacy = SchemeKind::Tsb,
+    .factory = [](const SystemConfig &config, Machine &machine)
+        -> std::unique_ptr<TranslationScheme> {
+        // The software buffer lives at the top of host-physical
+        // memory, far above anything the frame allocator hands out.
+        MemoryMapConfig defaults;
+        const Addr tsb_base =
+            defaults.hostPhysBytes - config.tsb.capacityBytes;
+        return std::make_unique<TsbScheme>(config.tsb, tsb_base,
+                                           machine.hierarchy(),
+                                           machine.walkerPool());
+    },
+});
 
 } // namespace pomtlb

@@ -152,6 +152,26 @@ TsbConfig::validate() const
 }
 
 void
+CoalescedTlbConfig::validate() const
+{
+    if (rangePages == 0 || !isPowerOfTwo(rangePages))
+        fatal("coalesced: range must be a non-zero power of two");
+    if (rangePages > 64)
+        fatal("coalesced: range wider than the 64-bit presence map");
+    if (associativity == 0)
+        fatal("coalesced: need at least one way");
+}
+
+void
+VictimaConfig::validate() const
+{
+    if (entriesPerBlock == 0)
+        fatal("victima: need at least one entry per block");
+    if (regionBytes == 0 || !isPowerOfTwo(regionBytes))
+        fatal("victima: region must be a non-zero power of two");
+}
+
+void
 SystemConfig::validate() const
 {
     if (numCores == 0)
@@ -169,6 +189,8 @@ SystemConfig::validate() const
     mainMemory.validate();
     pomTlb.validate();
     tsb.validate();
+    coalesced.validate();
+    victima.validate();
     if (l1d.lineBytes != l2.lineBytes || l2.lineBytes != l3.lineBytes)
         fatal("system: cache line size must match across levels");
     if (pomTlb.cacheable &&

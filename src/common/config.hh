@@ -209,6 +209,46 @@ struct TsbConfig
     void validate() const;
 };
 
+/**
+ * Coalesced-entry shared TLB (the "Coalesced" contender): one pooled
+ * second-level SRAM TLB whose entries each cover an aligned run of
+ * contiguous pages, merged SVNAPOT/CoLT-style as contiguity is
+ * observed in walk results.
+ */
+struct CoalescedTlbConfig
+{
+    /** Pages per coalesced entry (aligned run; power of two). */
+    unsigned rangePages = 8;
+    /** Set associativity of the coalesced array. */
+    unsigned associativity = 12;
+    /** Access latency (pooled SRAM array + interconnect hop). */
+    Cycles accessLatency = 24;
+
+    /** Fatal on impossible geometry. */
+    void validate() const;
+};
+
+/**
+ * Victima-style contender: translations are stashed in (otherwise
+ * underutilized) L2/L3 data-cache blocks instead of a dedicated
+ * structure, so TLB reach scales with cache capacity.
+ */
+struct VictimaConfig
+{
+    /**
+     * Base of the physical region translation blocks are named in;
+     * far outside both host DRAM and the POM-TLB reserved region.
+     */
+    Addr baseAddress = Addr{0x11} << 36;
+    /** Translation entries packed into one 64-byte cache block. */
+    unsigned entriesPerBlock = 8;
+    /** Size of the block-address region (bounds distinct blocks). */
+    std::uint64_t regionBytes = 8 * 1024 * 1024;
+
+    /** Fatal on impossible geometry. */
+    void validate() const;
+};
+
 /** Full system configuration (Table 1 defaults). */
 struct SystemConfig
 {
@@ -251,6 +291,8 @@ struct SystemConfig
     DramConfig mainMemory = DramConfig::ddr4(); /**< Main memory. */
     PomTlbConfig pomTlb{}; /**< POM-TLB geometry + predictors. */
     TsbConfig tsb{};       /**< TSB baseline parameters. */
+    CoalescedTlbConfig coalesced{}; /**< Coalesced contender. */
+    VictimaConfig victima{}; /**< Victima contender. */
 
     /** RNG seed that every derived stream forks from. */
     std::uint64_t seed = 0x5eed5eed;

@@ -1,6 +1,8 @@
 #include "pomtlb/scheme.hh"
 
 #include "common/log.hh"
+#include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 
 namespace pomtlb
 {
@@ -327,5 +329,20 @@ PomTlbScheme::bypassPredictorAccuracy() const
     }
     return total ? static_cast<double>(correct) / total : 0.0;
 }
+
+POMTLB_REGISTER_SCHEME(registerPomTlb, {
+    .name = "POM-TLB",
+    .description = "the paper's very large part-of-memory L3 TLB in "
+                   "die-stacked DRAM, cached by the data caches",
+    .aliases = {"pom", "pom-tlb"},
+    .rank = 1,
+    .legacy = SchemeKind::PomTlb,
+    .factory = [](const SystemConfig &config, Machine &machine)
+        -> std::unique_ptr<TranslationScheme> {
+        return std::make_unique<PomTlbScheme>(
+            config.pomTlb, machine.ensurePomTlbDevice(),
+            machine.hierarchy(), machine.walkerPool());
+    },
+});
 
 } // namespace pomtlb

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The "Victima" contender (after Kanellopoulos et al., MICRO'23):
+ * translations are stashed in ordinary L2/L3 *data-cache* blocks
+ * instead of a dedicated structure, so TLB reach scales with the
+ * cache hierarchy's capacity — an alternative to the paper's answer
+ * of putting the capacity in die-stacked DRAM.
+ *
+ * The model reuses the hierarchy's POM-TLB line plumbing
+ * (DataHierarchy::probeTlbLine / fillTlbLine / invalidateTlbLine):
+ * each translation hashes to one 64-byte "translation block" address;
+ * a block cached in the L2D/L3D serves at that cache's latency, and
+ * a block absent from the hierarchy falls through to a page walk,
+ * after which the block is (re)filled. Entry payloads live in a
+ * shadow table keyed by block address — the caches model *where* the
+ * block is, the shadow models *what* is in it.
+ *
+ * Registered with the scheme registry as "Victima"; constructed only
+ * through SchemeRegistry (sim/scheme_registry.hh).
+ */
+
+#ifndef POMTLB_SCHEMES_VICTIMA_SCHEME_HH
+#define POMTLB_SCHEMES_VICTIMA_SCHEME_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "pagetable/walker.hh"
+#include "sim/scheme.hh"
+
+namespace pomtlb
+{
+
+/** Translations installed into underutilized data-cache blocks. */
+class VictimaScheme : public TranslationScheme
+{
+  public:
+    /**
+     * @param config    Victima geometry (block region + packing).
+     * @param hierarchy The data-cache hierarchy translation blocks
+     *                  live in.
+     * @param walkers   Per-core walkers for block misses.
+     */
+    VictimaScheme(const VictimaConfig &config,
+                  DataHierarchy &hierarchy,
+                  std::vector<std::unique_ptr<PageWalker>> &walkers);
+
+    std::string name() const override { return "Victima"; }
+
+    SchemeResult translateMiss(CoreId core, Addr vaddr, PageSize size,
+                               VmId vm, ProcessId pid,
+                               Cycles now) override;
+
+    /**
+     * Victima's translation store (the data caches) persists across
+     * the warmup boundary, so prewarm installs the entry untimed.
+     */
+    void prewarm(CoreId core, Addr vaddr, PageSize size, VmId vm,
+                 ProcessId pid, PageNum pfn) override;
+
+    void invalidatePage(Addr vaddr, PageSize size, VmId vm,
+                        ProcessId pid) override;
+    void invalidateVm(VmId vm) override;
+    void resetStats() override;
+
+    const StatGroup *statistics() const override
+    {
+        return &statGroup;
+    }
+    std::vector<std::pair<ServicePoint, std::uint64_t>>
+    cycleBreakdown() const override;
+
+    /** Fraction of requests served from a cached block. */
+    double cachedLineHitRate() const;
+
+  private:
+    /** One packed translation entry inside a block. */
+    struct Slot
+    {
+        bool valid = false;
+        VmId vm = 0;
+        ProcessId pid = 0;
+        PageSize size = PageSize::Small4K;
+        PageNum vpn = 0;
+        PageNum pfn = 0;
+        std::uint64_t stamp = 0; /**< LRU stamp within the block. */
+    };
+
+    /** The payload of one 64-byte translation block. */
+    struct Block
+    {
+        std::vector<Slot> slots;
+    };
+
+    Addr blockAddress(PageNum vpn, PageSize size, VmId vm,
+                      ProcessId pid) const;
+    Slot *findSlot(Block &block, PageNum vpn, PageSize size, VmId vm,
+                   ProcessId pid);
+    void installSlot(Addr block_addr, PageNum vpn, PageSize size,
+                     VmId vm, ProcessId pid, PageNum pfn);
+
+    VictimaConfig victimaConfig;
+    DataHierarchy &dataHierarchy;
+    std::vector<std::unique_ptr<PageWalker>> &pageWalkers;
+    std::uint64_t numBlocks;
+    std::unordered_map<Addr, Block> shadow;
+    std::uint64_t tick = 0;
+
+    Counter requests;
+    Counter servedL2d;
+    Counter servedL3d;
+    Counter servedWalks;
+    Counter l2dCycles;
+    Counter l3dCycles;
+    Counter walkPathCycles;
+    Average missCycles;
+    Log2Histogram missCycleHist;
+    StatGroup statGroup;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SCHEMES_VICTIMA_SCHEME_HH

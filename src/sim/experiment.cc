@@ -11,12 +11,20 @@ namespace pomtlb
 {
 
 SchemeRunSummary
-runScheme(const BenchmarkProfile &profile, SchemeKind scheme,
+runScheme(const BenchmarkProfile &profile, const std::string &scheme,
           const ExperimentConfig &config)
 {
     return runExperiment(
                ExperimentRequest::of(profile.name, scheme, config))
         .summary;
+}
+
+SchemeRunSummary
+runScheme(const BenchmarkProfile &profile, SchemeKind scheme,
+          const ExperimentConfig &config)
+{
+    return runScheme(profile, std::string(schemeKindName(scheme)),
+                     config);
 }
 
 namespace
@@ -36,24 +44,36 @@ costRatio(const SchemeRunSummary &scheme,
 } // namespace
 
 const SchemeRunSummary &
-BenchmarkComparison::summary(SchemeKind kind) const
+BenchmarkComparison::summary(const std::string &scheme) const
 {
     for (const auto &entry : runs)
-        if (entry.first == kind)
+        if (entry.first == scheme)
             return entry.second;
-    fatal("comparison for '", benchmark, "' has no ",
-          schemeKindName(kind), " run");
+    fatal("comparison for '", benchmark, "' has no ", scheme,
+          " run");
+}
+
+const SchemeRunSummary &
+BenchmarkComparison::summary(SchemeKind kind) const
+{
+    return summary(std::string(schemeKindName(kind)));
+}
+
+const SchemeDelta &
+BenchmarkComparison::delta(const std::string &scheme) const
+{
+    const auto it = deltas.find(scheme);
+    if (it == deltas.end()) {
+        fatal("comparison for '", benchmark, "' has no ", scheme,
+              " delta");
+    }
+    return it->second;
 }
 
 const SchemeDelta &
 BenchmarkComparison::delta(SchemeKind kind) const
 {
-    const auto it = deltas.find(kind);
-    if (it == deltas.end()) {
-        fatal("comparison for '", benchmark, "' has no ",
-              schemeKindName(kind), " delta");
-    }
-    return it->second;
+    return delta(std::string(schemeKindName(kind)));
 }
 
 BenchmarkComparison
@@ -75,12 +95,12 @@ compareSchemes(const BenchmarkProfile &profile,
 
     const SchemeRunSummary &baseline = comparison.baseline();
     const ExecMode mode = config.system.mode;
-    for (const auto &[kind, summary] : comparison.runs) {
+    for (const auto &[scheme, summary] : comparison.runs) {
         SchemeDelta delta;
         delta.costRatio = costRatio(summary, baseline);
         delta.improvementPct = PerfModel::improvementPct(
             profile, mode, delta.costRatio);
-        comparison.deltas.emplace(kind, delta);
+        comparison.deltas.emplace(scheme, delta);
     }
     return comparison;
 }

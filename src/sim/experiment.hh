@@ -46,7 +46,8 @@ struct ExperimentConfig
 struct SchemeRunSummary
 {
     std::string benchmark;
-    SchemeKind scheme = SchemeKind::NestedWalk;
+    /** Canonical registry name of the scheme that ran. */
+    std::string scheme = "Baseline";
     ExecMode mode = ExecMode::Virtualized;
 
     RunResult run;
@@ -84,6 +85,11 @@ struct SchemeRunSummary
 
 /** Build a machine for (config, scheme), run @p profile, summarise. */
 SchemeRunSummary runScheme(const BenchmarkProfile &profile,
+                           const std::string &scheme,
+                           const ExperimentConfig &config);
+
+/** Legacy-enum overload of runScheme(). */
+SchemeRunSummary runScheme(const BenchmarkProfile &profile,
                            SchemeKind scheme,
                            const ExperimentConfig &config);
 
@@ -100,21 +106,27 @@ struct SchemeDelta
 /**
  * One benchmark across every scheme, with Eq. 4-5 improvements.
  *
- * Runs and deltas are keyed by SchemeKind, so figure benches iterate
- * instead of naming each scheme; adding a fifth scheme means adding
- * it to allSchemeKinds(), not editing every bench.
+ * Runs and deltas are keyed by canonical registry scheme name, so
+ * figure benches iterate instead of naming each scheme; adding a
+ * contender means one registration, not editing every bench.
  */
 struct BenchmarkComparison
 {
     std::string benchmark;
-    /** One summary per scheme, in allSchemeKinds() order. */
-    std::vector<std::pair<SchemeKind, SchemeRunSummary>> runs;
+    /** One summary per scheme, in registry (rank, name) order. */
+    std::vector<std::pair<std::string, SchemeRunSummary>> runs;
     /** Cost ratio + improvement per scheme (baseline: 1.0 / 0.0). */
-    std::map<SchemeKind, SchemeDelta> deltas;
+    std::map<std::string, SchemeDelta> deltas;
 
-    /** Summary lookup; fatal if @p kind was not part of the run. */
+    /** Summary lookup; fatal if @p scheme was not part of the run. */
+    const SchemeRunSummary &summary(const std::string &scheme) const;
+    /** Legacy-enum overload of summary(). */
     const SchemeRunSummary &summary(SchemeKind kind) const;
+    /** Delta lookup; fatal if @p scheme was not part of the run. */
+    const SchemeDelta &delta(const std::string &scheme) const;
+    /** Legacy-enum overload of delta(). */
     const SchemeDelta &delta(SchemeKind kind) const;
+    /** The nested-walk baseline's summary. */
     const SchemeRunSummary &baseline() const
     {
         return summary(SchemeKind::NestedWalk);
@@ -122,10 +134,10 @@ struct BenchmarkComparison
 };
 
 /**
- * Run every scheme in allSchemeKinds() for @p profile and compute
- * Figure 8's improvement percentages from the paper's additive
- * model. Fans the independent runs out over
- * @p config.sweepJobs workers (thin wrapper over SweepRunner).
+ * Run every registered scheme for @p profile and compute Figure 8's
+ * improvement percentages from the paper's additive model. Fans the
+ * independent runs out over @p config.sweepJobs workers (thin
+ * wrapper over SweepRunner).
  */
 BenchmarkComparison compareSchemes(const BenchmarkProfile &profile,
                                    const ExperimentConfig &config);

@@ -1,30 +1,12 @@
 #include "sim/machine.hh"
 #include <ostream>
+#include <stdexcept>
 
-
-#include "baseline/nested_scheme.hh"
-#include "baseline/shared_l2_scheme.hh"
-#include "baseline/tsb_scheme.hh"
 #include "common/log.hh"
+#include "sim/scheme_registry.hh"
 
 namespace pomtlb
 {
-
-const char *
-schemeKindName(SchemeKind kind)
-{
-    switch (kind) {
-      case SchemeKind::NestedWalk:
-        return "Baseline";
-      case SchemeKind::PomTlb:
-        return "POM-TLB";
-      case SchemeKind::SharedL2:
-        return "Shared_L2";
-      case SchemeKind::Tsb:
-        return "TSB";
-    }
-    return "?";
-}
 
 const char *
 servicePointName(ServicePoint point)
@@ -46,6 +28,12 @@ servicePointName(ServicePoint point)
         return "tsb_buffer";
       case ServicePoint::PageWalk:
         return "page_walk";
+      case ServicePoint::CoalescedTlb:
+        return "coalesced_tlb";
+      case ServicePoint::VictimaL2D:
+        return "victima_l2d_cache";
+      case ServicePoint::VictimaL3D:
+        return "victima_l3d_cache";
     }
     return "?";
 }
@@ -54,10 +42,12 @@ const std::vector<ServicePoint> &
 allServicePoints()
 {
     static const std::vector<ServicePoint> points = {
-        ServicePoint::SramL1,    ServicePoint::SramL2,
-        ServicePoint::CacheL2D,  ServicePoint::CacheL3D,
-        ServicePoint::PomDram,   ServicePoint::SharedTlb,
-        ServicePoint::TsbBuffer, ServicePoint::PageWalk};
+        ServicePoint::SramL1,       ServicePoint::SramL2,
+        ServicePoint::CacheL2D,     ServicePoint::CacheL3D,
+        ServicePoint::PomDram,      ServicePoint::SharedTlb,
+        ServicePoint::TsbBuffer,    ServicePoint::PageWalk,
+        ServicePoint::CoalescedTlb, ServicePoint::VictimaL2D,
+        ServicePoint::VictimaL3D};
     return points;
 }
 
@@ -71,32 +61,13 @@ servicePointFromName(const std::string &name)
     return std::nullopt;
 }
 
-const std::vector<SchemeKind> &
-allSchemeKinds()
-{
-    static const std::vector<SchemeKind> kinds = {
-        SchemeKind::NestedWalk, SchemeKind::PomTlb,
-        SchemeKind::SharedL2, SchemeKind::Tsb};
-    return kinds;
-}
-
-std::optional<SchemeKind>
-schemeKindFromName(const std::string &name)
-{
-    if (name == "baseline" || name == "nested" || name == "Baseline")
-        return SchemeKind::NestedWalk;
-    if (name == "pom" || name == "pom-tlb" || name == "POM-TLB")
-        return SchemeKind::PomTlb;
-    if (name == "shared" || name == "shared-l2" ||
-        name == "Shared_L2")
-        return SchemeKind::SharedL2;
-    if (name == "tsb" || name == "TSB")
-        return SchemeKind::Tsb;
-    return std::nullopt;
-}
-
 Machine::Machine(const SystemConfig &config, SchemeKind scheme_kind)
-    : systemConfig(config), kind(scheme_kind)
+    : Machine(config, std::string(schemeKindName(scheme_kind)))
+{
+}
+
+Machine::Machine(const SystemConfig &config, const std::string &scheme)
+    : systemConfig(config)
 {
     systemConfig.dieStacked.coreFreqGhz = systemConfig.coreFreqGhz;
     systemConfig.mainMemory.coreFreqGhz = systemConfig.coreFreqGhz;
@@ -127,39 +98,15 @@ Machine::Machine(const SystemConfig &config, SchemeKind scheme_kind)
             core, *memMap, *dataHierarchy, systemConfig.psc));
     }
 
-    switch (kind) {
-      case SchemeKind::NestedWalk:
-        translationScheme = std::make_unique<NestedWalkScheme>(walkers);
-        break;
-      case SchemeKind::PomTlb:
-        pomTlb = std::make_unique<PomTlb>(systemConfig.pomTlb,
-                                          *dieStacked);
-        translationScheme = std::make_unique<PomTlbScheme>(
-            systemConfig.pomTlb, *pomTlb, *dataHierarchy, walkers);
-        break;
-      case SchemeKind::SharedL2: {
-        // Combine the private L2 TLB capacities into one shared
-        // structure; its latency reflects the larger SRAM array plus
-        // the interconnect hop (see analysis/cacti.hh for the trend).
-        TlbConfig shared = systemConfig.l2Tlb;
-        shared.name = "shared_l2tlb";
-        shared.entries *= systemConfig.numCores;
-        shared.accessLatency = 24;
-        translationScheme =
-            std::make_unique<SharedL2Scheme>(shared, walkers);
-        break;
-      }
-      case SchemeKind::Tsb: {
-        // The software buffer lives at the top of host-physical
-        // memory, far above anything the frame allocator hands out.
-        MemoryMapConfig defaults;
-        const Addr tsb_base =
-            defaults.hostPhysBytes - systemConfig.tsb.capacityBytes;
-        translationScheme = std::make_unique<TsbScheme>(
-            systemConfig.tsb, tsb_base, *dataHierarchy, walkers);
-        break;
-      }
+    const SchemeRegistry::Info *info =
+        SchemeRegistry::global().find(scheme);
+    if (info == nullptr) {
+        throw std::invalid_argument("unknown translation scheme '" +
+                                    scheme + "'");
     }
+    schemeKey = info->name;
+    legacyKind = info->legacy;
+    translationScheme = info->factory(systemConfig, *this);
 
     mmus.reserve(systemConfig.numCores);
     for (unsigned core = 0; core < systemConfig.numCores; ++core) {
@@ -208,12 +155,20 @@ Machine::enableTracing(std::size_t capacity,
     return *eventTracer;
 }
 
+PomTlb &
+Machine::ensurePomTlbDevice()
+{
+    if (!pomTlb) {
+        pomTlb = std::make_unique<PomTlb>(systemConfig.pomTlb,
+                                          *dieStacked);
+    }
+    return *pomTlb;
+}
+
 PomTlbScheme *
 Machine::pomTlbScheme()
 {
-    if (kind != SchemeKind::PomTlb)
-        return nullptr;
-    return static_cast<PomTlbScheme *>(translationScheme.get());
+    return dynamic_cast<PomTlbScheme *>(translationScheme.get());
 }
 
 void

@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,9 +36,22 @@ class Machine
 {
   public:
     /**
+     * Build a machine running the named translation scheme.
+     *
+     * @param config System geometry and feature switches.
+     * @param scheme Registry name (canonical or alias) of the
+     *               translation scheme to build behind the private
+     *               SRAM TLBs; throws std::invalid_argument when no
+     *               registered scheme answers to it.
+     */
+    Machine(const SystemConfig &config, const std::string &scheme);
+
+    /**
+     * Legacy-enum convenience: equivalent to constructing with
+     * schemeKindName(scheme_kind).
+     *
      * @param config      System geometry and feature switches.
-     * @param scheme_kind Which translation scheme to build behind the
-     *                    private SRAM TLBs.
+     * @param scheme_kind Which of the paper's four schemes to build.
      */
     Machine(const SystemConfig &config, SchemeKind scheme_kind);
 
@@ -56,13 +70,35 @@ class Machine
     /** The die-stacked channel (POM-TLB traffic). */
     DramController &dieStackedMemory() { return *dieStacked; }
 
-    /** The POM-TLB device; null unless built with SchemeKind::PomTlb. */
+    /** The POM-TLB device; null unless the scheme asked for one. */
     PomTlb *pomTlbDevice() { return pomTlb.get(); }
     /** The POM-TLB scheme view; null for other schemes. */
     PomTlbScheme *pomTlbScheme();
 
-    /** The scheme this machine was built for. */
-    SchemeKind schemeKind() const { return kind; }
+    /**
+     * The page-walker pool (one walker per core) a scheme factory
+     * wires its fallback path to.
+     */
+    std::vector<std::unique_ptr<PageWalker>> &walkerPool()
+    {
+        return walkers;
+    }
+
+    /**
+     * The die-stacked POM-TLB device, constructed on first request —
+     * for scheme factories that keep their translations in the
+     * die-stacked DRAM partition.
+     */
+    PomTlb &ensurePomTlbDevice();
+
+    /** Canonical registry name of the scheme this machine runs. */
+    const std::string &schemeName() const { return schemeKey; }
+
+    /**
+     * The legacy SchemeKind of the scheme this machine runs; empty
+     * for registry contenders outside the paper's original four.
+     */
+    std::optional<SchemeKind> schemeKind() const { return legacyKind; }
     /** The (validated) system configuration the machine runs. */
     const SystemConfig &config() const { return systemConfig; }
     /** Number of cores (MMU/walker pairs). */
@@ -121,7 +157,10 @@ class Machine
     void buildRegistry();
 
     SystemConfig systemConfig;
-    SchemeKind kind;
+    /** Canonical registry name of the running scheme. */
+    std::string schemeKey;
+    /** Legacy enum value, when the scheme shims one. */
+    std::optional<SchemeKind> legacyKind;
 
     std::unique_ptr<DramController> mainMem;
     std::unique_ptr<DramController> dieStacked;

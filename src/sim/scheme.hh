@@ -5,8 +5,11 @@
  * The per-core MMU front end (L1 TLBs, optional private L2 TLB) is
  * common to every design the paper evaluates; what differs is what
  * happens after the last private SRAM TLB misses. Each scheme —
- * baseline nested walk, POM-TLB, Shared_L2, TSB — implements that
- * step, so experiments swap a single object.
+ * baseline nested walk, POM-TLB, Shared_L2, TSB, plus the contender
+ * zoo in src/schemes/ — implements that step, so experiments swap a
+ * single object. Schemes are constructed by name through the
+ * string-keyed factory in sim/scheme_registry.hh; SchemeKind survives
+ * only as a compatibility shim over the registry's canonical names.
  */
 
 #ifndef POMTLB_SIM_SCHEME_HH
@@ -24,7 +27,13 @@ namespace pomtlb
 
 class StatGroup;
 
-/** Which scheme a Machine should be built with. */
+/**
+ * Legacy identifier for the paper's four schemes. New code should
+ * select schemes by registry name (sim/scheme_registry.hh); this enum
+ * remains for the original four so existing call sites keep
+ * compiling, and maps 1:1 onto registry entries that declare a
+ * `legacy` kind.
+ */
 enum class SchemeKind : std::uint8_t
 {
     /** Conventional 2D nested page walk with PSCs (baseline). */
@@ -37,17 +46,26 @@ enum class SchemeKind : std::uint8_t
     Tsb = 3,
 };
 
-/** Human-readable scheme name. */
+/**
+ * Human-readable scheme name — identical to the scheme's canonical
+ * registry name, so JSON documents written through either path match.
+ */
 const char *schemeKindName(SchemeKind kind);
 
-/** Every scheme the paper evaluates, in Figure 8 order. */
+/**
+ * The four schemes the paper evaluates, in Figure 8 order. Registry
+ * contenders are NOT included; iterate SchemeRegistry::global()
+ * names() for the full zoo.
+ */
 const std::vector<SchemeKind> &allSchemeKinds();
 
 /**
  * Parse a scheme name as the CLI and sweep specs accept it:
  * "baseline"/"nested", "pom"/"pom-tlb", "shared"/"shared-l2", "tsb",
- * or the display names schemeKindName() produces. Empty optional on
- * anything else.
+ * or the display names schemeKindName() produces. Resolution goes
+ * through the scheme registry (canonical names + aliases); the empty
+ * optional means the name is unknown *or* names a registry scheme
+ * with no legacy SchemeKind.
  */
 std::optional<SchemeKind> schemeKindFromName(const std::string &name);
 
@@ -74,6 +92,12 @@ enum class ServicePoint : std::uint8_t
     TsbBuffer = 6,
     /** Full page walk (any scheme's fallback, and the baseline). */
     PageWalk = 7,
+    /** Coalesced-entry shared TLB hit (the Coalesced contender). */
+    CoalescedTlb = 8,
+    /** Victima translation found in a core's L2 data cache. */
+    VictimaL2D = 9,
+    /** Victima translation found in the shared L3 data cache. */
+    VictimaL3D = 10,
 };
 
 /** Stable snake_case name of @p point, as emitted in JSON. */

@@ -40,7 +40,7 @@ buildStatsDocument(Machine &machine, const RunResult &result,
     JsonValue doc = JsonValue::object();
     doc.set("schema", kStatsSchemaV1);
     doc.set("benchmark", benchmark);
-    doc.set("scheme", schemeKindName(machine.schemeKind()));
+    doc.set("scheme", machine.schemeName());
     doc.set("mode", execModeName(machine.config().mode));
     doc.set("num_cores",
             static_cast<std::uint64_t>(machine.numCores()));

@@ -9,6 +9,7 @@
 
 #include "sim/engine.hh"
 #include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 
 namespace pomtlb
 {
@@ -19,13 +20,30 @@ namespace pomtlb
 
 ExperimentRequest
 ExperimentRequest::of(std::string benchmark_name,
-                      SchemeKind scheme_kind, ExperimentConfig base)
+                      std::string scheme_name, ExperimentConfig base)
 {
     ExperimentRequest request;
     request.benchmark = std::move(benchmark_name);
-    request.scheme = scheme_kind;
+    // Canonicalise aliases ("pom" → "POM-TLB") so request keys and
+    // emitted JSON always carry the registry's canonical name; an
+    // unknown name stays verbatim for runExperiment() to reject.
+    if (const SchemeRegistry::Info *info =
+            SchemeRegistry::global().find(scheme_name)) {
+        request.scheme = info->name;
+    } else {
+        request.scheme = std::move(scheme_name);
+    }
     request.config = std::move(base);
     return request;
+}
+
+ExperimentRequest
+ExperimentRequest::of(std::string benchmark_name,
+                      SchemeKind scheme_kind, ExperimentConfig base)
+{
+    return of(std::move(benchmark_name),
+              std::string(schemeKindName(scheme_kind)),
+              std::move(base));
 }
 
 ExperimentRequest &
@@ -106,7 +124,7 @@ ExperimentRequest::key() const
 {
     std::string result = benchmark;
     result += '/';
-    result += schemeKindName(scheme);
+    result += scheme;
     if (!label.empty()) {
         result += '/';
         result += label;
@@ -126,6 +144,11 @@ runExperiment(const ExperimentRequest &request)
     if (profile == nullptr) {
         throw std::invalid_argument("unknown benchmark '" +
                                     request.benchmark +
+                                    "' in sweep request");
+    }
+    if (SchemeRegistry::global().find(request.scheme) == nullptr) {
+        throw std::invalid_argument("unknown scheme '" +
+                                    request.scheme +
                                     "' in sweep request");
     }
 
@@ -203,16 +226,37 @@ SweepSpec::withAllBenchmarks()
 }
 
 SweepSpec &
-SweepSpec::withSchemes(std::vector<SchemeKind> kinds)
+SweepSpec::withSchemes(std::vector<std::string> names)
 {
-    schemeKinds = std::move(kinds);
+    // Canonicalise aliases up front so expand()'s request keys and
+    // the emitted JSON always carry canonical names.
+    schemeNames.clear();
+    schemeNames.reserve(names.size());
+    for (std::string &name : names) {
+        if (const SchemeRegistry::Info *info =
+                SchemeRegistry::global().find(name)) {
+            schemeNames.push_back(info->name);
+        } else {
+            schemeNames.push_back(std::move(name));
+        }
+    }
     return *this;
+}
+
+SweepSpec &
+SweepSpec::withSchemes(const std::vector<SchemeKind> &kinds)
+{
+    std::vector<std::string> names;
+    names.reserve(kinds.size());
+    for (const SchemeKind kind : kinds)
+        names.emplace_back(schemeKindName(kind));
+    return withSchemes(std::move(names));
 }
 
 SweepSpec &
 SweepSpec::withAllSchemes()
 {
-    schemeKinds = allSchemeKinds();
+    schemeNames = SchemeRegistry::global().names();
     return *this;
 }
 
@@ -236,7 +280,7 @@ SweepSpec::jobCount() const
 {
     const std::size_t variants =
         configVariants.empty() ? 1 : configVariants.size();
-    return benchmarkNames.size() * schemeKinds.size() * variants;
+    return benchmarkNames.size() * schemeNames.size() * variants;
 }
 
 std::vector<ExperimentRequest>
@@ -245,7 +289,7 @@ SweepSpec::expand() const
     std::vector<ExperimentRequest> requests;
     requests.reserve(jobCount());
     for (const std::string &benchmark : benchmarkNames) {
-        for (const SchemeKind scheme : schemeKinds) {
+        for (const std::string &scheme : schemeNames) {
             if (configVariants.empty()) {
                 requests.push_back(
                     ExperimentRequest::of(benchmark, scheme,
@@ -393,8 +437,7 @@ SweepResultWriter::toJson(const std::vector<ExperimentResult> &results)
     for (const ExperimentResult &result : results) {
         JsonValue entry = JsonValue::object();
         entry.set("benchmark", result.request.benchmark);
-        entry.set("scheme",
-                  schemeKindName(result.request.scheme));
+        entry.set("scheme", result.request.scheme);
         entry.set("label", result.request.label);
         entry.set("mode",
                   execModeName(result.request.config.system.mode));
@@ -445,14 +488,15 @@ SweepResultWriter::fromJson(const JsonValue &document)
     for (const JsonValue &entry : document.at("runs").elements()) {
         ExperimentResult result;
         result.request.benchmark = entry.at("benchmark").asString();
-        const auto scheme =
-            schemeKindFromName(entry.at("scheme").asString());
-        if (!scheme) {
+        const SchemeRegistry::Info *scheme =
+            SchemeRegistry::global().find(
+                entry.at("scheme").asString());
+        if (scheme == nullptr) {
             throw std::invalid_argument(
                 "unknown scheme in sweep document: " +
                 entry.at("scheme").asString());
         }
-        result.request.scheme = *scheme;
+        result.request.scheme = scheme->name;
         result.request.label = entry.at("label").asString();
         result.request.config.system.mode =
             entry.at("mode").asString() == "native"

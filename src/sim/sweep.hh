@@ -41,7 +41,7 @@ namespace pomtlb
  * resolved configuration. Build directly or through the fluent
  * with*() chain:
  *
- *     auto request = ExperimentRequest::of("mcf", SchemeKind::PomTlb)
+ *     auto request = ExperimentRequest::of("mcf", "POM-TLB")
  *                        .withCores(16)
  *                        .withPomCapacityMb(32)
  *                        .withLabel("32MB");
@@ -49,14 +49,24 @@ namespace pomtlb
 struct ExperimentRequest
 {
     std::string benchmark; /**< Workload-model name ("mcf", ...). */
-    SchemeKind scheme = SchemeKind::NestedWalk; /**< Scheme to run. */
+    /** Registry name of the scheme to run (canonicalised by of()). */
+    std::string scheme = "Baseline";
     ExperimentConfig config; /**< Fully resolved configuration. */
     /** Variant tag for reports ("" when the sweep has no variants). */
     std::string label;
     /** Attach per-component StatGroup output to the result. */
     bool collectComponentStats = false;
 
-    /** Start a request from a base configuration. */
+    /**
+     * Start a request from a base configuration. Accepts any
+     * registry name or alias and canonicalises it; an unknown name
+     * is kept verbatim and rejected later by runExperiment().
+     */
+    static ExperimentRequest
+    of(std::string benchmark_name, std::string scheme_name,
+       ExperimentConfig base = ExperimentConfig{});
+
+    /** Legacy-enum overload of of(). */
     static ExperimentRequest
     of(std::string benchmark_name, SchemeKind scheme_kind,
        ExperimentConfig base = ExperimentConfig{});
@@ -105,9 +115,9 @@ struct ExperimentResult
 
 /**
  * Run one request synchronously on the calling thread. Throws
- * std::invalid_argument for an unknown benchmark name — the one
- * user-input error a sweep job can hit; configuration errors still
- * fatal() like everywhere else in the simulator.
+ * std::invalid_argument for an unknown benchmark or scheme name —
+ * the two user-input errors a sweep job can hit; configuration
+ * errors still fatal() like everywhere else in the simulator.
  */
 ExperimentResult runExperiment(const ExperimentRequest &request);
 
@@ -133,9 +143,14 @@ class SweepSpec
     SweepSpec &withBenchmarks(std::vector<std::string> names);
     /** All fifteen Table 2 workloads. */
     SweepSpec &withAllBenchmarks();
-    /** Set the scheme axis. */
-    SweepSpec &withSchemes(std::vector<SchemeKind> kinds);
-    /** All four schemes, Figure 8 order. */
+    /** Set the scheme axis by registry name (aliases accepted). */
+    SweepSpec &withSchemes(std::vector<std::string> names);
+    /** Legacy-enum overload of withSchemes(). */
+    SweepSpec &withSchemes(const std::vector<SchemeKind> &kinds);
+    /**
+     * Every registered scheme: the paper's four in Figure 8 order,
+     * then contenders in registration (rank) order.
+     */
     SweepSpec &withAllSchemes();
     /** Add one labelled config variant to the variant axis. */
     SweepSpec &withVariant(
@@ -151,10 +166,10 @@ class SweepSpec
     {
         return benchmarkNames;
     }
-    /** The scheme axis. */
-    const std::vector<SchemeKind> &schemes() const
+    /** The scheme axis (canonical registry names). */
+    const std::vector<std::string> &schemes() const
     {
-        return schemeKinds;
+        return schemeNames;
     }
     /** The variant axis. */
     const std::vector<Variant> &variants() const
@@ -171,7 +186,7 @@ class SweepSpec
   private:
     ExperimentConfig baseConfig;
     std::vector<std::string> benchmarkNames;
-    std::vector<SchemeKind> schemeKinds;
+    std::vector<std::string> schemeNames;
     std::vector<Variant> configVariants;
     bool componentStats = false;
 };

@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests for the `pomtlb-stats-v1` document (sim/stats_export.hh):
- * schema shape, the exact cycle-accounting invariants for all four
- * schemes, trace metadata, and the docs/metrics.md coverage contract
+ * schema shape, the exact cycle-accounting invariants for every
+ * registered scheme, trace metadata, and the docs/metrics.md
+ * coverage contract
  * (every emitted stat name must be documented).
  */
 
@@ -20,6 +21,7 @@
 #include "common/json.hh"
 #include "sim/engine.hh"
 #include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 #include "sim/stats_export.hh"
 #include "trace/profile.hh"
 
@@ -35,12 +37,12 @@ struct RunOutput
 };
 
 RunOutput
-runMachine(SystemConfig config, SchemeKind kind,
+runMachine(SystemConfig config, const std::string &scheme,
            bool with_tracer = false)
 {
     config.numCores = 2;
     RunOutput out;
-    out.machine = std::make_unique<Machine>(config, kind);
+    out.machine = std::make_unique<Machine>(config, scheme);
     if (with_tracer)
         out.machine->enableTracing(256, 16);
     EngineConfig engine_config;
@@ -55,8 +57,7 @@ runMachine(SystemConfig config, SchemeKind kind,
 
 TEST(StatsExport, DocumentShape)
 {
-    RunOutput out =
-        runMachine(SystemConfig::table1(), SchemeKind::PomTlb);
+    RunOutput out = runMachine(SystemConfig::table1(), "POM-TLB");
     const JsonValue doc =
         buildStatsDocument(*out.machine, out.result, "mcf");
 
@@ -82,13 +83,14 @@ TEST(StatsExport, DocumentShape)
 
 /**
  * The acceptance invariant: the document's cycle totals equal the
- * engine's aggregate cost exactly — for every scheme.
+ * engine's aggregate cost exactly — for every registered scheme.
  */
 TEST(StatsExport, CycleTotalsExactlyMatchEngineForEveryScheme)
 {
-    for (SchemeKind kind : allSchemeKinds()) {
-        SCOPED_TRACE(schemeKindName(kind));
-        RunOutput out = runMachine(SystemConfig::table1(), kind);
+    for (const std::string &scheme :
+         SchemeRegistry::global().names()) {
+        SCOPED_TRACE(scheme);
+        RunOutput out = runMachine(SystemConfig::table1(), scheme);
         const JsonValue doc =
             buildStatsDocument(*out.machine, out.result, "mcf");
         const JsonValue &totals = doc.at("totals");
@@ -126,8 +128,8 @@ TEST(StatsExport, CycleTotalsExactlyMatchEngineForEveryScheme)
 
 TEST(StatsExport, TraceMetadataPresentWhenTracing)
 {
-    RunOutput out = runMachine(SystemConfig::table1(),
-                               SchemeKind::NestedWalk, true);
+    RunOutput out =
+        runMachine(SystemConfig::table1(), "Baseline", true);
     const JsonValue doc =
         buildStatsDocument(*out.machine, out.result, "mcf");
     ASSERT_TRUE(doc.has("trace"));
@@ -181,10 +183,10 @@ documentedTokens()
 
 /** Collect every flat stat name a machine emits, `.N`-normalised. */
 void
-collectNames(SystemConfig config, SchemeKind kind,
+collectNames(SystemConfig config, const std::string &scheme,
              std::set<std::string> &names)
 {
-    RunOutput out = runMachine(std::move(config), kind);
+    RunOutput out = runMachine(std::move(config), scheme);
     std::vector<std::pair<std::string, double>> flat;
     out.machine->collectStats(flat);
     const std::regex digits("\\.[0-9]+");
@@ -200,14 +202,15 @@ collectNames(SystemConfig config, SchemeKind kind,
 TEST(StatsExport, MetricsDocCoversEveryStat)
 {
     std::set<std::string> names;
-    for (SchemeKind kind : allSchemeKinds())
-        collectNames(SystemConfig::table1(), kind, names);
+    for (const std::string &scheme :
+         SchemeRegistry::global().names())
+        collectNames(SystemConfig::table1(), scheme, names);
     SystemConfig unified = SystemConfig::table1();
     unified.pomTlb.unifiedOrganization = true;
-    collectNames(unified, SchemeKind::PomTlb, names);
+    collectNames(unified, "POM-TLB", names);
     SystemConfig with_l4 = SystemConfig::table1();
     with_l4.dieStackedL4Cache = true;
-    collectNames(with_l4, SchemeKind::NestedWalk, names);
+    collectNames(with_l4, "Baseline", names);
     ASSERT_GT(names.size(), 100u);
 
     const std::set<std::string> tokens = documentedTokens();

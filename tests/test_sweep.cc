@@ -102,7 +102,7 @@ TEST(Sweep, RequestBuilderAppliesOverrides)
             .withComponentStats();
 
     EXPECT_EQ(request.benchmark, "mcf");
-    EXPECT_EQ(request.scheme, SchemeKind::PomTlb);
+    EXPECT_EQ(request.scheme, "POM-TLB");
     EXPECT_EQ(request.config.system.numCores, 4u);
     EXPECT_EQ(request.config.system.mode, ExecMode::Native);
     EXPECT_EQ(request.config.engine.refsPerCore, 1234u);
@@ -240,10 +240,11 @@ TEST(Sweep, CompareSchemesParallelMatchesSerial)
     for (std::size_t i = 0; i < a.runs.size(); ++i) {
         EXPECT_EQ(a.runs[i].first, b.runs[i].first);
         expectIdentical(a.runs[i].second, b.runs[i].second);
-        const SchemeKind kind = a.runs[i].first;
-        EXPECT_EQ(a.delta(kind).costRatio, b.delta(kind).costRatio);
-        EXPECT_EQ(a.delta(kind).improvementPct,
-                  b.delta(kind).improvementPct);
+        const std::string &scheme = a.runs[i].first;
+        EXPECT_EQ(a.delta(scheme).costRatio,
+                  b.delta(scheme).costRatio);
+        EXPECT_EQ(a.delta(scheme).improvementPct,
+                  b.delta(scheme).improvementPct);
     }
 }
 

@@ -4,9 +4,12 @@
  *
  * Commands:
  *   list                       list the built-in benchmark profiles
+ *   list-schemes               list every registered translation
+ *                              scheme (name, rank, aliases)
  *   show-config                print the Table 1 machine parameters
  *   run                        run one benchmark under one scheme
- *   compare                    run all four schemes (a Figure 8 row)
+ *   compare                    run every registered scheme (a
+ *                              Figure 8 row)
  *   sweep                      parallel benchmark x scheme sweep
  *   record-trace               dump a synthetic trace to a file
  *   replay-trace               drive a machine from trace files
@@ -24,7 +27,8 @@
  *
  * Common options (run / compare / sweep):
  *   --benchmark NAME           workload (default mcf)
- *   --scheme KIND              baseline|pom|shared|tsb (run only)
+ *   --scheme NAME              any registered scheme name or alias;
+ *                              see `pomtlb list-schemes` (run only)
  *   --cores N                  core count (default 8)
  *   --refs N                   measured references per core
  *   --warmup N                 warmup references per core
@@ -72,6 +76,7 @@
 #include "sim/engine.hh"
 #include "sim/machine.hh"
 #include "sim/perf_model.hh"
+#include "sim/scheme_registry.hh"
 #include "sim/stats_export.hh"
 #include "sim/sweep.hh"
 #include "sim/translation_trace.hh"
@@ -125,8 +130,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: pomtlb <list|show-config|run|compare|sweep|"
-        "record-trace|replay-trace> "
+        "usage: pomtlb <list|list-schemes|show-config|run|compare|"
+        "sweep|record-trace|replay-trace> "
         "[options]\n  see the header of tools/pomtlb_cli.cc or the "
         "README for the option list\n");
     std::exit(2);
@@ -216,12 +221,20 @@ parseOptions(int argc, char **argv, int first)
     return options;
 }
 
-SchemeKind
+/**
+ * Resolve a CLI scheme name (canonical or alias) through the registry,
+ * or exit 2 with the list of valid names.
+ */
+const std::string &
 schemeFromName(const std::string &name)
 {
-    if (const auto kind = schemeKindFromName(name))
-        return *kind;
-    std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+    if (const SchemeRegistry::Info *info =
+            SchemeRegistry::global().find(name))
+        return info->name;
+    std::fprintf(stderr, "unknown scheme '%s' (known:", name.c_str());
+    for (const std::string &known : SchemeRegistry::global().names())
+        std::fprintf(stderr, " %s", known.c_str());
+    std::fprintf(stderr, ")\n");
     std::exit(2);
 }
 
@@ -290,6 +303,25 @@ commandList()
 }
 
 int
+commandListSchemes()
+{
+    ResultTable table({"name", "rank", "aliases", "description"});
+    for (const SchemeRegistry::Info *info :
+         SchemeRegistry::global().entries()) {
+        std::string aliases;
+        for (const std::string &alias : info->aliases) {
+            if (!aliases.empty())
+                aliases += ", ";
+            aliases += alias;
+        }
+        table.addRow({info->name, std::to_string(info->rank), aliases,
+                      info->description});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
 commandShowConfig()
 {
     const SystemConfig config = SystemConfig::table1();
@@ -335,16 +367,16 @@ commandRun(const CliOptions &options)
     const BenchmarkProfile &profile =
         ProfileRegistry::byName(options.benchmark);
     const ExperimentConfig config = configFrom(options);
-    const SchemeKind kind = schemeFromName(options.scheme);
+    const std::string &scheme = schemeFromName(options.scheme);
 
-    Machine machine(config.system, kind);
+    Machine machine(config.system, scheme);
     if (!options.traceOutPath.empty())
         machine.enableTracing();
     SimulationEngine engine(machine, profile, config.engine);
     const RunResult result = engine.run();
 
     std::printf("benchmark             : %s\n", profile.name.c_str());
-    std::printf("scheme                : %s\n", schemeKindName(kind));
+    std::printf("scheme                : %s\n", scheme.c_str());
     std::printf("mode                  : %s\n",
                 execModeName(config.system.mode));
     const RunTotals &totals = result.totals();
@@ -425,10 +457,10 @@ commandCompare(const CliOptions &options)
 
     ResultTable table({"scheme", "cycles/miss", "cost ratio",
                        "improvement %"});
-    for (const auto &[kind, summary] : comparison.runs) {
-        const SchemeDelta &delta = comparison.delta(kind);
+    for (const auto &[scheme, summary] : comparison.runs) {
+        const SchemeDelta &delta = comparison.delta(scheme);
         table.addRow(
-            {schemeKindName(kind),
+            {scheme,
              ResultTable::num(summary.avgPenaltyPerMiss, 1),
              ResultTable::num(delta.costRatio, 3),
              ResultTable::num(delta.improvementPct, 2)});
@@ -467,11 +499,11 @@ commandSweep(const CliOptions &options)
     if (options.schemesList.empty() || options.schemesList == "all") {
         spec.withAllSchemes();
     } else {
-        std::vector<SchemeKind> kinds;
+        std::vector<std::string> schemes;
         for (const std::string &name :
              splitList(options.schemesList))
-            kinds.push_back(schemeFromName(name));
-        spec.withSchemes(kinds);
+            schemes.push_back(schemeFromName(name));
+        spec.withSchemes(std::move(schemes));
     }
 
     if (options.dumpStats)
@@ -529,7 +561,7 @@ commandReplayTrace(const CliOptions &options)
     const BenchmarkProfile &profile =
         ProfileRegistry::byName(options.benchmark);
     const ExperimentConfig config = configFrom(options);
-    const SchemeKind kind = schemeFromName(options.scheme);
+    const std::string &scheme = schemeFromName(options.scheme);
 
     std::vector<std::unique_ptr<TraceSource>> sources;
     for (unsigned core = 0; core < options.cores; ++core) {
@@ -538,7 +570,7 @@ commandReplayTrace(const CliOptions &options)
         sources.push_back(std::make_unique<FileSource>(path));
     }
 
-    Machine machine(config.system, kind);
+    Machine machine(config.system, scheme);
     SimulationEngine engine(machine, profile, config.engine,
                             std::move(sources));
     const RunResult result = engine.run();
@@ -547,7 +579,7 @@ commandReplayTrace(const CliOptions &options)
     std::printf("replayed %llu refs from %zu trace file(s) under "
                 "%s\n",
                 static_cast<unsigned long long>(totals.refs),
-                options.tracePaths.size(), schemeKindName(kind));
+                options.tracePaths.size(), scheme.c_str());
     std::printf("L2 TLB misses         : %llu\n",
                 static_cast<unsigned long long>(
                     totals.lastLevelMisses));
@@ -586,6 +618,8 @@ main(int argc, char **argv)
 
     if (command == "list")
         return commandList();
+    if (command == "list-schemes")
+        return commandListSchemes();
     if (command == "show-config")
         return commandShowConfig();
     if (command == "run")
