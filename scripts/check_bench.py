@@ -41,13 +41,57 @@ import math
 import sys
 
 
+BENCH_SCHEMA = "pomtlb-bench-v1"
+
+#: Schema families other pomtlb tools emit, with a hint for each, so
+#: handing this checker the wrong artifact names the actual fix
+#: instead of a bare mismatch.
+FOREIGN_SCHEMAS = {
+    "pomtlb-sweep": "a sweep result — plot it with "
+                    "scripts/plot_results.py",
+    "pomtlb-sweepcache": "an on-disk sweep-cache entry — plot it "
+                         "with scripts/plot_results.py",
+    "pomtlb-serve": "a serve event stream — plot it with "
+                    "scripts/plot_results.py",
+    "pomtlb-stats": "a single-run stats export — plot it with "
+                    "scripts/plot_results.py --breakdown",
+}
+
+
+def check_schema(path, schema):
+    """Raise ValueError naming *path* unless *schema* is the bench
+    schema this checker understands."""
+    if schema == BENCH_SCHEMA:
+        return
+    if isinstance(schema, str):
+        family = schema.rsplit("-v", 1)[0]
+        hint = FOREIGN_SCHEMAS.get(family)
+        if hint is not None:
+            raise ValueError(
+                f"{path}: {schema!r} is {hint}; this checker "
+                f"compares {BENCH_SCHEMA} documents "
+                "(bench_throughput --json)")
+        if family == BENCH_SCHEMA.rsplit("-v", 1)[0]:
+            raise ValueError(
+                f"{path}: unsupported bench schema version "
+                f"{schema!r}; this checker understands "
+                f"{BENCH_SCHEMA} only — regenerate the baseline "
+                "with the matching bench_throughput")
+    raise ValueError(
+        f"{path}: expected schema {BENCH_SCHEMA}, "
+        f"got {schema!r}")
+
+
 def load(path):
     with open(path) as handle:
-        doc = json.load(handle)
-    if doc.get("schema") != "pomtlb-bench-v1":
-        raise ValueError(
-            f"{path}: expected schema pomtlb-bench-v1, "
-            f"got {doc.get('schema')!r}")
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}: not a JSON document ({error}); a JSONL "
+                "serve stream is plottable with "
+                "scripts/plot_results.py, not comparable here")
+    check_schema(path, doc.get("schema"))
     return doc
 
 
@@ -160,6 +204,26 @@ def selftest():
         pass
     else:
         raise AssertionError("missing calibration not rejected")
+
+    # Foreign schema families are rejected with a redirecting hint
+    # that names the path; unknown bench versions name the version.
+    for schema, needle in [
+        ("pomtlb-sweep-v1", "plot_results"),
+        ("pomtlb-sweepcache-v1", "cache entry"),
+        ("pomtlb-serve-v1", "serve event stream"),
+        ("pomtlb-stats-v1", "--breakdown"),
+        ("pomtlb-bench-v7", "version"),
+        ("other-tool-v1", "expected schema"),
+        (None, "expected schema"),
+    ]:
+        try:
+            check_schema("some/input.json", schema)
+        except ValueError as error:
+            assert "some/input.json" in str(error), error
+            assert needle in str(error), (schema, error)
+        else:
+            raise AssertionError(f"{schema!r} not rejected")
+    check_schema("ok.json", "pomtlb-bench-v1")  # must not raise
 
     print("check_bench selftest: OK")
     return 0

@@ -21,7 +21,13 @@ Three input formats are accepted and auto-detected:
   (``pomtlb sweep --out``), from which ``--metric`` picks one summary
   field per run; and
 * the ``pomtlb-stats-v1`` JSON document of a single run
-  (``pomtlb run --stats-out``), usable with ``--breakdown``.
+  (``pomtlb run --stats-out``), usable with ``--breakdown``;
+* a saved ``pomtlb-serve-v1`` event stream (the JSONL stdout of
+  ``pomtlb serve``, even truncated mid-campaign): the ``run`` object
+  of every ``job`` event is assembled back into a sweep document, in
+  the request order the service guarantees; and
+* a single ``pomtlb-sweepcache-v1`` cache entry
+  (``<cache-dir>/<hash>.json``), plotted as a one-run sweep.
 
 The default output is a grouped bar chart in the paper's figure
 style: benchmarks on the x-axis, one bar group per series.
@@ -31,9 +37,13 @@ decomposition of Figure 8's cost model: one stacked bar per
 each run's total translation cycles. Every stat and field this script
 reads is documented in docs/metrics.md.
 
-Unknown *versions* of a known schema family (e.g. a future
+Unknown *versions* of a known result schema family (e.g. a future
 ``pomtlb-sweep-v2``) produce a warning and a best-effort parse;
-missing required fields are hard errors naming the field. Run
+missing required fields are hard errors naming the field. Cache
+entries and serve events are different: a version bump there changes
+the job-identity recipe or the wire protocol, so an unknown
+``pomtlb-sweepcache-*`` or ``pomtlb-serve-*`` version is a hard
+error naming the input path and the offending schema. Run
 ``scripts/plot_results.py --selftest`` to execute the built-in parser
 tests (no matplotlib needed; CI runs this as a ctest).
 
@@ -49,6 +59,8 @@ import sys
 
 SWEEP_SCHEMA = "pomtlb-sweep-v1"
 STATS_SCHEMA = "pomtlb-stats-v1"
+SWEEPCACHE_SCHEMA = "pomtlb-sweepcache-v1"
+SERVE_SCHEMA = "pomtlb-serve-v1"
 
 #: Stacked-segment order for --breakdown, matching the ServicePoint
 #: order of sim/scheme.hh ("sram_tlb" is the MMUs' aggregate share).
@@ -99,6 +111,96 @@ def _check_schema(document):
             )
             return family
     raise ParseError(f"unrecognised JSON schema: {schema!r}")
+
+
+def _unwrap_cache_entry(document):
+    """Turn one on-disk cache entry into a single-run sweep document.
+
+    Cache entries are content-addressed: a version bump means the
+    job-identity recipe changed, so unlike the result schemas there
+    is no best-effort path for ``pomtlb-sweepcache-v2`` — reject it.
+    """
+    schema = _require(document, "schema", "")
+    if schema != SWEEPCACHE_SCHEMA:
+        raise ParseError(
+            f"unsupported cache-entry schema {schema!r}; this "
+            f"script understands {SWEEPCACHE_SCHEMA} only (a cache "
+            "version bump changes the job-identity recipe — "
+            "re-run the sweep to repopulate)"
+        )
+    return {
+        "schema": SWEEP_SCHEMA,
+        "runs": [_require(document, "run", "")],
+    }
+
+
+def assemble_serve_stream(lines):
+    """Assemble a saved serve event stream into a sweep document.
+
+    *lines* is the JSONL stdout of ``pomtlb serve`` (possibly
+    truncated mid-campaign). The ``run`` object of every ``job``
+    event becomes one sweep run; the service streams job events in
+    request order, so the assembled document matches what
+    ``pomtlb sweep --out`` would have written for the same campaign
+    (identity form: wall_seconds is 0; the real per-job wall time is
+    the event's own ``wall_seconds``, plottable via ``--metric
+    wall_seconds`` only from sweep documents).
+    """
+    runs = []
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ParseError(
+                f"line {number}: not a JSON event: {error}"
+            )
+        context = f"line {number}: "
+        schema = _require(event, "schema", context)
+        if schema != SERVE_SCHEMA:
+            raise ParseError(
+                f"line {number}: unsupported event schema "
+                f"{schema!r}; this script understands "
+                f"{SERVE_SCHEMA} only"
+            )
+        if _require(event, "event", context) != "job":
+            continue
+        run = dict(_require(event, "run", context))
+        # Surface the real wall time the event carried out-of-band.
+        run["wall_seconds"] = event.get("wall_seconds", 0)
+        runs.append(run)
+    if not runs:
+        raise ParseError(
+            "event stream contains no 'job' events — nothing to "
+            "plot (did the campaign error before its first job?)"
+        )
+    return {"schema": SWEEP_SCHEMA, "runs": runs}
+
+
+def load_json_input(text):
+    """Auto-detect and normalise JSON input to a plottable document.
+
+    Returns a ``pomtlb-sweep-v1`` / ``pomtlb-stats-v1`` document,
+    unwrapping cache entries and assembling serve event streams on
+    the way. Raises ParseError (without the input path; the CLI
+    prefixes it).
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        # More than one top-level object: a JSONL serve stream.
+        return assemble_serve_stream(text.splitlines())
+    if isinstance(document, dict):
+        schema = document.get("schema")
+        if isinstance(schema, str):
+            if schema.startswith("pomtlb-sweepcache-"):
+                return _unwrap_cache_entry(document)
+            if schema.startswith("pomtlb-serve-"):
+                # A one-line event file parses as a single object.
+                return assemble_serve_stream(text.splitlines())
+    return document
 
 
 def parse_document(document):
@@ -426,6 +528,103 @@ def selftest():
                     }
                 )
 
+        def sweep_run(self, benchmark="mcf"):
+            run = dict(sweep_doc()["runs"][0])
+            run["benchmark"] = benchmark
+            run["wall_seconds"] = 0
+            return run
+
+        def serve_event(self, **fields):
+            event = {"schema": SERVE_SCHEMA}
+            event.update(fields)
+            return json.dumps(event)
+
+        def test_cache_entry_plots_as_one_run_sweep(self):
+            entry = {
+                "schema": SWEEPCACHE_SCHEMA,
+                "job_hash": "0" * 32,
+                "key": "mcf/POM-TLB",
+                "run": self.sweep_run(),
+            }
+            document = load_json_input(json.dumps(entry))
+            runs = parse_document(document)
+            self.assertEqual(len(runs), 1)
+            self.assertEqual(runs[0]["benchmark"], "mcf")
+
+        def test_unknown_cache_version_is_a_hard_error(self):
+            entry = {
+                "schema": "pomtlb-sweepcache-v9",
+                "run": self.sweep_run(),
+            }
+            with self.assertRaisesRegex(
+                ParseError, "pomtlb-sweepcache-v9"
+            ):
+                load_json_input(json.dumps(entry))
+
+        def test_serve_stream_assembles_job_runs_in_order(self):
+            stream = "\n".join(
+                [
+                    self.serve_event(event="ready", jobs=4),
+                    self.serve_event(
+                        event="job",
+                        index=0,
+                        key="mcf/POM-TLB",
+                        source="cache",
+                        wall_seconds=0,
+                        run=self.sweep_run("mcf"),
+                    ),
+                    "",  # blank lines are skipped
+                    self.serve_event(
+                        event="job",
+                        index=1,
+                        key="gups/POM-TLB",
+                        source="executed",
+                        wall_seconds=2.5,
+                        run=self.sweep_run("gups"),
+                    ),
+                    self.serve_event(
+                        event="sweep-end", sweep_hash="", stats={}
+                    ),
+                ]
+            )
+            runs = parse_document(load_json_input(stream))
+            self.assertEqual(
+                [r["benchmark"] for r in runs], ["mcf", "gups"]
+            )
+            # The event's out-of-band wall time is surfaced so
+            # --metric wall_seconds works on streamed input too.
+            self.assertEqual(runs[1]["wall_seconds"], 2.5)
+
+        def test_single_line_serve_stream_without_jobs_errors(self):
+            with self.assertRaisesRegex(ParseError, "no 'job'"):
+                load_json_input(self.serve_event(event="ready"))
+
+        def test_unknown_serve_version_is_a_hard_error(self):
+            stream = json.dumps(
+                {"schema": "pomtlb-serve-v2", "event": "ready"}
+            )
+            with self.assertRaisesRegex(
+                ParseError, "pomtlb-serve-v2"
+            ):
+                load_json_input(stream)
+
+        def test_torn_serve_stream_names_the_line(self):
+            stream = (
+                self.serve_event(event="ready")
+                + "\n"
+                + '{"schema": "pomtlb-serve-v1", "eve'
+            )
+            with self.assertRaisesRegex(
+                ParseError, "line 2"
+            ):
+                load_json_input(stream)
+
+        def test_plain_documents_pass_through_unchanged(self):
+            document = sweep_doc()
+            self.assertEqual(
+                load_json_input(json.dumps(document)), document
+            )
+
     suite = unittest.defaultTestLoader.loadTestsFromTestCase(
         ParserTests
     )
@@ -477,15 +676,15 @@ def main():
 
     try:
         if args.breakdown:
-            labels, series = breakdown_rows(json.loads(text))
+            labels, series = breakdown_rows(load_json_input(text))
             plot_breakdown(labels, series, args)
             return 0
         if text.lstrip().startswith("{"):
-            rows = sweep_rows(json.loads(text), args.metric)
+            rows = sweep_rows(load_json_input(text), args.metric)
         else:
             rows = extract_csv(text)
     except ParseError as error:
-        raise SystemExit(f"error: {error}")
+        raise SystemExit(f"error: {args.input}: {error}")
     if not rows:
         raise SystemExit("no rows found in input")
     plot_grouped(rows, args)

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Streaming 128-bit FNV-1a content hash.
+ *
+ * The sweep-at-scale cache (sim/sweep_cache.hh) content-addresses
+ * jobs by the hash of their canonical JSON identity, so the digest
+ * must be deterministic across processes, hosts, and time: no
+ * pointers, no container iteration order, no per-process seeding.
+ * FNV-1a over the serialised bytes satisfies all of that, and 128
+ * bits make accidental collisions implausible even for campaigns of
+ * millions of jobs. The reference parameters are the standard FNV-1a
+ * 128-bit offset basis and prime.
+ *
+ * This is a content fingerprint, not a cryptographic hash: the cache
+ * directory is trusted local state, collision *resistance* against
+ * an adversary is a non-goal.
+ */
+
+#ifndef POMTLB_COMMON_CONTENT_HASH_HH
+#define POMTLB_COMMON_CONTENT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pomtlb
+{
+
+/**
+ * Incremental FNV-1a hasher producing a 32-hex-character digest.
+ *
+ *     ContentHash hash;
+ *     hash.update(document.dump(0));
+ *     std::string digest = hash.hexDigest();
+ */
+class ContentHash
+{
+  public:
+    /** Absorb @p size raw bytes. */
+    ContentHash &
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            state ^= bytes[i];
+            state *= prime();
+        }
+        return *this;
+    }
+
+    /** Absorb the bytes of @p text. */
+    ContentHash &
+    update(std::string_view text)
+    {
+        return update(text.data(), text.size());
+    }
+
+    /** The digest so far, as 32 lowercase hex characters. */
+    std::string
+    hexDigest() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(32, '0');
+        Word value = state;
+        for (int i = 31; i >= 0; --i) {
+            out[static_cast<std::size_t>(i)] =
+                digits[static_cast<unsigned>(value & 0xf)];
+            value >>= 4;
+        }
+        return out;
+    }
+
+    /** One-shot convenience: digest of @p text. */
+    static std::string
+    of(std::string_view text)
+    {
+        return ContentHash().update(text).hexDigest();
+    }
+
+  private:
+    // GCC/Clang builtin 128-bit integer; the FNV-1a-128 prime is
+    // 2^88 + 2^8 + 0x3b and does not fit in 64 bits.
+    using Word = unsigned __int128;
+
+    static constexpr Word
+    prime()
+    {
+        return (Word{1} << 88) | Word{0x13b};
+    }
+
+    static constexpr Word
+    offsetBasis()
+    {
+        return (Word{0x6c62272e07bb0142ULL} << 64) |
+               Word{0x62b821756295c58dULL};
+    }
+
+    Word state = offsetBasis();
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_COMMON_CONTENT_HASH_HH

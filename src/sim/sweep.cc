@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -335,7 +336,8 @@ SweepRunner::SweepRunner(unsigned jobs)
 }
 
 std::vector<ExperimentResult>
-SweepRunner::run(const std::vector<ExperimentRequest> &requests) const
+SweepRunner::run(const std::vector<ExperimentRequest> &requests,
+                 const JobCallback &on_result) const
 {
     std::vector<ExperimentResult> results(requests.size());
     if (requests.empty())
@@ -346,17 +348,23 @@ SweepRunner::run(const std::vector<ExperimentRequest> &requests) const
 
     if (workers <= 1) {
         // Serial reference path: identical job code, no threads.
-        for (std::size_t i = 0; i < requests.size(); ++i)
+        for (std::size_t i = 0; i < requests.size(); ++i) {
             results[i] = runExperiment(requests[i]);
+            if (on_result)
+                on_result(i, results[i]);
+        }
         return results;
     }
 
     // Work-stealing by atomic index: each worker claims the next
     // unclaimed request. results[i] is written only by the claimant
     // of i, so no locks are needed; the join is the only
-    // synchronisation point the results are read across.
+    // synchronisation point the results are read across. Callback
+    // invocations alone are serialised, so checkpoint/stream
+    // consumers need no lock of their own.
     std::atomic<std::size_t> next{0};
     std::vector<std::exception_ptr> errors(requests.size());
+    std::mutex callback_mutex;
 
     auto worker = [&] {
         while (true) {
@@ -366,6 +374,11 @@ SweepRunner::run(const std::vector<ExperimentRequest> &requests) const
                 return;
             try {
                 results[index] = runExperiment(requests[index]);
+                if (on_result) {
+                    const std::lock_guard<std::mutex> lock(
+                        callback_mutex);
+                    on_result(index, results[index]);
+                }
             } catch (...) {
                 errors[index] = std::current_exception();
             }
@@ -431,38 +444,43 @@ summaryToJson(const SchemeRunSummary &summary)
 } // namespace
 
 JsonValue
+SweepResultWriter::entryToJson(const ExperimentResult &result)
+{
+    JsonValue entry = JsonValue::object();
+    entry.set("benchmark", result.request.benchmark);
+    entry.set("scheme", result.request.scheme);
+    entry.set("label", result.request.label);
+    entry.set("mode",
+              execModeName(result.request.config.system.mode));
+    entry.set("cores", std::uint64_t(
+                           result.request.config.system.numCores));
+    entry.set("pom_capacity_bytes",
+              result.request.config.system.pomTlb.capacityBytes);
+    entry.set("refs_per_core",
+              result.request.config.engine.refsPerCore);
+    entry.set("warmup_refs_per_core",
+              result.request.config.engine.warmupRefsPerCore);
+    entry.set("seed", result.request.config.engine.seed);
+    entry.set("wall_seconds", result.wallSeconds);
+    entry.set("summary", summaryToJson(result.summary));
+    if (!result.componentStats.empty()) {
+        JsonValue stats = JsonValue::object();
+        for (const auto &stat : result.componentStats)
+            stats.set(stat.first, stat.second);
+        entry.set("component_stats", std::move(stats));
+    }
+    return entry;
+}
+
+JsonValue
 SweepResultWriter::toJson(const std::vector<ExperimentResult> &results)
 {
     JsonValue runs = JsonValue::array();
-    for (const ExperimentResult &result : results) {
-        JsonValue entry = JsonValue::object();
-        entry.set("benchmark", result.request.benchmark);
-        entry.set("scheme", result.request.scheme);
-        entry.set("label", result.request.label);
-        entry.set("mode",
-                  execModeName(result.request.config.system.mode));
-        entry.set("cores", std::uint64_t(
-                               result.request.config.system.numCores));
-        entry.set("pom_capacity_bytes",
-                  result.request.config.system.pomTlb.capacityBytes);
-        entry.set("refs_per_core",
-                  result.request.config.engine.refsPerCore);
-        entry.set("warmup_refs_per_core",
-                  result.request.config.engine.warmupRefsPerCore);
-        entry.set("seed", result.request.config.engine.seed);
-        entry.set("wall_seconds", result.wallSeconds);
-        entry.set("summary", summaryToJson(result.summary));
-        if (!result.componentStats.empty()) {
-            JsonValue stats = JsonValue::object();
-            for (const auto &stat : result.componentStats)
-                stats.set(stat.first, stat.second);
-            entry.set("component_stats", std::move(stats));
-        }
-        runs.push(std::move(entry));
-    }
+    for (const ExperimentResult &result : results)
+        runs.push(entryToJson(result));
 
     JsonValue document = JsonValue::object();
-    document.set("schema", "pomtlb-sweep-v1");
+    document.set("schema", kSweepSchemaV1);
     document.set("runs", std::move(runs));
     return document;
 }
@@ -475,109 +493,114 @@ SweepResultWriter::write(std::ostream &os,
     os << "\n";
 }
 
+ExperimentResult
+SweepResultWriter::entryFromJson(const JsonValue &entry)
+{
+    ExperimentResult result;
+    result.request.benchmark = entry.at("benchmark").asString();
+    const SchemeRegistry::Info *scheme =
+        SchemeRegistry::global().find(
+            entry.at("scheme").asString());
+    if (scheme == nullptr) {
+        throw std::invalid_argument(
+            "unknown scheme in sweep document: " +
+            entry.at("scheme").asString());
+    }
+    result.request.scheme = scheme->name;
+    result.request.label = entry.at("label").asString();
+    result.request.config.system.mode =
+        entry.at("mode").asString() == "native"
+            ? ExecMode::Native
+            : ExecMode::Virtualized;
+    result.request.config.system.numCores =
+        static_cast<unsigned>(entry.at("cores").asUint());
+    result.request.config.system.pomTlb.capacityBytes =
+        entry.at("pom_capacity_bytes").asUint();
+    result.request.config.engine.refsPerCore =
+        entry.at("refs_per_core").asUint();
+    result.request.config.engine.warmupRefsPerCore =
+        entry.at("warmup_refs_per_core").asUint();
+    result.request.config.engine.seed =
+        entry.at("seed").asUint();
+    result.wallSeconds = entry.at("wall_seconds").asNumber();
+
+    const JsonValue &summary = entry.at("summary");
+    SchemeRunSummary &out = result.summary;
+    out.benchmark = result.request.benchmark;
+    out.scheme = result.request.scheme;
+    out.mode = result.request.config.system.mode;
+    out.translationCycles =
+        summary.at("translation_cycles").asUint();
+    // Optional so pre-observability documents still load.
+    if (summary.has("sram_cycles"))
+        out.sramCycles = summary.at("sram_cycles").asUint();
+    if (summary.has("scheme_cycles"))
+        out.schemeCycles = summary.at("scheme_cycles").asUint();
+    if (summary.has("cycle_breakdown")) {
+        for (const auto &[name, cycles] :
+             summary.at("cycle_breakdown").members()) {
+            const auto point = servicePointFromName(name);
+            if (!point) {
+                throw std::invalid_argument(
+                    "unknown service point in sweep document: " +
+                    name);
+            }
+            out.cycleBreakdown.emplace_back(*point,
+                                            cycles.asUint());
+        }
+    }
+    // The JSON stores machine-wide totals, not the per-core
+    // breakdown; reconstruct them as one aggregate pseudo-core
+    // so RunResult::totals() (and a re-serialisation) reproduces
+    // the written values.
+    CoreRunStats aggregate;
+    aggregate.refs = summary.at("refs").asUint();
+    aggregate.translationCycles = out.translationCycles;
+    aggregate.lastLevelTlbMisses =
+        summary.at("last_level_misses").asUint();
+    aggregate.pageWalks = summary.at("page_walks").asUint();
+    aggregate.shootdowns = summary.at("shootdowns").asUint();
+    out.run.cores.push_back(aggregate);
+    out.avgPenaltyPerMiss =
+        summary.at("avg_penalty_per_miss").asNumber();
+    out.walkFraction = summary.at("walk_fraction").asNumber();
+    out.pomL2CacheServiceRate =
+        summary.at("pom_l2_cache_service_rate").asNumber();
+    out.pomL3CacheServiceRate =
+        summary.at("pom_l3_cache_service_rate").asNumber();
+    out.pomDramServiceRate =
+        summary.at("pom_dram_service_rate").asNumber();
+    out.sizePredictorAccuracy =
+        summary.at("size_predictor_accuracy").asNumber();
+    out.bypassPredictorAccuracy =
+        summary.at("bypass_predictor_accuracy").asNumber();
+    out.dieStackedRowBufferHitRate =
+        summary.at("die_stacked_row_buffer_hit_rate").asNumber();
+    out.l3DataHitRate =
+        summary.at("l3_data_hit_rate").asNumber();
+
+    if (entry.has("component_stats")) {
+        for (const auto &stat :
+             entry.at("component_stats").members()) {
+            result.componentStats.emplace_back(
+                stat.first, stat.second.asNumber());
+        }
+    }
+    return result;
+}
+
 std::vector<ExperimentResult>
 SweepResultWriter::fromJson(const JsonValue &document)
 {
     if (!document.isObject() || !document.has("schema") ||
-        document.at("schema").asString() != "pomtlb-sweep-v1") {
+        document.at("schema").asString() != kSweepSchemaV1) {
         throw std::invalid_argument(
             "not a pomtlb-sweep-v1 document");
     }
 
     std::vector<ExperimentResult> results;
-    for (const JsonValue &entry : document.at("runs").elements()) {
-        ExperimentResult result;
-        result.request.benchmark = entry.at("benchmark").asString();
-        const SchemeRegistry::Info *scheme =
-            SchemeRegistry::global().find(
-                entry.at("scheme").asString());
-        if (scheme == nullptr) {
-            throw std::invalid_argument(
-                "unknown scheme in sweep document: " +
-                entry.at("scheme").asString());
-        }
-        result.request.scheme = scheme->name;
-        result.request.label = entry.at("label").asString();
-        result.request.config.system.mode =
-            entry.at("mode").asString() == "native"
-                ? ExecMode::Native
-                : ExecMode::Virtualized;
-        result.request.config.system.numCores =
-            static_cast<unsigned>(entry.at("cores").asUint());
-        result.request.config.system.pomTlb.capacityBytes =
-            entry.at("pom_capacity_bytes").asUint();
-        result.request.config.engine.refsPerCore =
-            entry.at("refs_per_core").asUint();
-        result.request.config.engine.warmupRefsPerCore =
-            entry.at("warmup_refs_per_core").asUint();
-        result.request.config.engine.seed =
-            entry.at("seed").asUint();
-        result.wallSeconds = entry.at("wall_seconds").asNumber();
-
-        const JsonValue &summary = entry.at("summary");
-        SchemeRunSummary &out = result.summary;
-        out.benchmark = result.request.benchmark;
-        out.scheme = result.request.scheme;
-        out.mode = result.request.config.system.mode;
-        out.translationCycles =
-            summary.at("translation_cycles").asUint();
-        // Optional so pre-observability documents still load.
-        if (summary.has("sram_cycles"))
-            out.sramCycles = summary.at("sram_cycles").asUint();
-        if (summary.has("scheme_cycles"))
-            out.schemeCycles = summary.at("scheme_cycles").asUint();
-        if (summary.has("cycle_breakdown")) {
-            for (const auto &[name, cycles] :
-                 summary.at("cycle_breakdown").members()) {
-                const auto point = servicePointFromName(name);
-                if (!point) {
-                    throw std::invalid_argument(
-                        "unknown service point in sweep document: " +
-                        name);
-                }
-                out.cycleBreakdown.emplace_back(*point,
-                                                cycles.asUint());
-            }
-        }
-        // The JSON stores machine-wide totals, not the per-core
-        // breakdown; reconstruct them as one aggregate pseudo-core
-        // so RunResult::totals() (and a re-serialisation) reproduces
-        // the written values.
-        CoreRunStats aggregate;
-        aggregate.refs = summary.at("refs").asUint();
-        aggregate.translationCycles = out.translationCycles;
-        aggregate.lastLevelTlbMisses =
-            summary.at("last_level_misses").asUint();
-        aggregate.pageWalks = summary.at("page_walks").asUint();
-        aggregate.shootdowns = summary.at("shootdowns").asUint();
-        out.run.cores.push_back(aggregate);
-        out.avgPenaltyPerMiss =
-            summary.at("avg_penalty_per_miss").asNumber();
-        out.walkFraction = summary.at("walk_fraction").asNumber();
-        out.pomL2CacheServiceRate =
-            summary.at("pom_l2_cache_service_rate").asNumber();
-        out.pomL3CacheServiceRate =
-            summary.at("pom_l3_cache_service_rate").asNumber();
-        out.pomDramServiceRate =
-            summary.at("pom_dram_service_rate").asNumber();
-        out.sizePredictorAccuracy =
-            summary.at("size_predictor_accuracy").asNumber();
-        out.bypassPredictorAccuracy =
-            summary.at("bypass_predictor_accuracy").asNumber();
-        out.dieStackedRowBufferHitRate =
-            summary.at("die_stacked_row_buffer_hit_rate").asNumber();
-        out.l3DataHitRate =
-            summary.at("l3_data_hit_rate").asNumber();
-
-        if (entry.has("component_stats")) {
-            for (const auto &stat :
-                 entry.at("component_stats").members()) {
-                result.componentStats.emplace_back(
-                    stat.first, stat.second.asNumber());
-            }
-        }
-        results.push_back(std::move(result));
-    }
+    for (const JsonValue &entry : document.at("runs").elements())
+        results.push_back(entryFromJson(entry));
     return results;
 }
 

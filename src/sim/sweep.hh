@@ -36,6 +36,9 @@
 namespace pomtlb
 {
 
+/** Schema identifier written into every sweep-result document. */
+inline constexpr const char *kSweepSchemaV1 = "pomtlb-sweep-v1";
+
 /**
  * One experiment to run: a benchmark under a scheme with a fully
  * resolved configuration. Build directly or through the fluent
@@ -216,9 +219,29 @@ class SweepRunner
     /** The resolved worker count (never 0). */
     unsigned jobs() const { return workerCount; }
 
+    /**
+     * Invoked as each job finishes, in *completion* order (the
+     * result vector stays in request order regardless). Calls are
+     * serialised by the runner, so the callback may touch shared
+     * state (journals, sockets) without its own lock; it must not
+     * throw. This is the hook the sweep-at-scale service
+     * (sim/sweep_cache.hh) uses to checkpoint and stream results.
+     */
+    using JobCallback =
+        std::function<void(std::size_t index,
+                           const ExperimentResult &result)>;
+
     /** Run every request; results land in request order. */
     std::vector<ExperimentResult>
-    run(const std::vector<ExperimentRequest> &requests) const;
+    run(const std::vector<ExperimentRequest> &requests) const
+    {
+        return run(requests, JobCallback());
+    }
+
+    /** run() with a serialised per-completion callback. */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentRequest> &requests,
+        const JobCallback &on_result) const;
 
     /** Expand a spec and run it. */
     std::vector<ExperimentResult> run(const SweepSpec &spec) const
@@ -249,6 +272,16 @@ class SweepResultWriter
     /** Build the `pomtlb-sweep-v1` document for @p results. */
     static JsonValue
     toJson(const std::vector<ExperimentResult> &results);
+
+    /**
+     * One `runs[]` entry of the `pomtlb-sweep-v1` document. The
+     * sweep-result cache stores exactly this object per job, so a
+     * cached job replays byte-identically into the document.
+     */
+    static JsonValue entryToJson(const ExperimentResult &result);
+
+    /** Inverse of entryToJson for the round-trippable subset. */
+    static ExperimentResult entryFromJson(const JsonValue &entry);
 
     /** Pretty-printed JSON document, trailing newline included. */
     static void write(std::ostream &os,

@@ -1,0 +1,295 @@
+#include "sim/sweep_serve.hh"
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/scheme_registry.hh"
+#include "trace/profile.hh"
+
+namespace pomtlb
+{
+
+namespace
+{
+
+/** Protocol violation: reported as an `error` event, loop continues. */
+struct ServeError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+std::string
+stringField(const JsonValue &request, const std::string &field)
+{
+    if (!request.has(field) || !request.at(field).isString())
+        throw ServeError("request needs string field '" + field +
+                         "'");
+    return request.at(field).asString();
+}
+
+/**
+ * An axis field: a JSON array of names, the string "all", or absent
+ * (= all). Returns the resolved name list.
+ */
+std::vector<std::string>
+axisField(const JsonValue &request, const std::string &field,
+          const std::vector<std::string> &all_names)
+{
+    if (!request.has(field))
+        return all_names;
+    const JsonValue &value = request.at(field);
+    if (value.isString()) {
+        if (value.asString() == "all")
+            return all_names;
+        return {value.asString()};
+    }
+    if (!value.isArray())
+        throw ServeError("field '" + field +
+                         "' must be an array of names or \"all\"");
+    std::vector<std::string> names;
+    for (const JsonValue &element : value.elements()) {
+        if (!element.isString())
+            throw ServeError("field '" + field +
+                             "' must contain only strings");
+        names.push_back(element.asString());
+    }
+    if (names.empty())
+        throw ServeError("field '" + field + "' must not be empty");
+    return names;
+}
+
+/** Apply the optional config-override fields of a sweep request. */
+ExperimentConfig
+configFromRequest(const JsonValue &request)
+{
+    ExperimentConfig config = defaultExperimentConfig();
+    if (request.has("cores")) {
+        config.system.numCores = static_cast<unsigned>(
+            request.at("cores").asUint());
+    }
+    if (request.has("refs_per_core")) {
+        config.engine.refsPerCore =
+            request.at("refs_per_core").asUint();
+    }
+    if (request.has("warmup_refs_per_core")) {
+        config.engine.warmupRefsPerCore =
+            request.at("warmup_refs_per_core").asUint();
+    }
+    if (request.has("seed"))
+        config.engine.seed = request.at("seed").asUint();
+    if (request.has("pom_capacity_mb")) {
+        config.system.pomTlb.capacityBytes =
+            request.at("pom_capacity_mb").asUint() << 20;
+    }
+    if (request.has("mode")) {
+        const std::string &mode = request.at("mode").asString();
+        if (mode == "native")
+            config.system.mode = ExecMode::Native;
+        else if (mode == "virtualized")
+            config.system.mode = ExecMode::Virtualized;
+        else
+            throw ServeError("unknown mode '" + mode +
+                             "' (native or virtualized)");
+    }
+    return config;
+}
+
+} // namespace
+
+ServeSession::ServeSession(std::istream &in, std::ostream &out,
+                           ServeOptions serve_options)
+    : input(in), output(out), serveOptions(std::move(serve_options))
+{
+}
+
+void
+ServeSession::emitEvent(JsonValue event)
+{
+    JsonValue line = JsonValue::object();
+    line.set("schema", kSweepServeSchemaV1);
+    for (const auto &[key, value] : event.members())
+        line.set(key, value);
+    line.write(output, 0);
+    output << "\n";
+    output.flush();
+}
+
+JsonValue
+ServeSession::statsJson() const
+{
+    JsonValue stats = JsonValue::object();
+    stats.set("jobs", std::uint64_t(campaignStats.jobs));
+    stats.set("executed", std::uint64_t(campaignStats.executed));
+    stats.set("cache_hits",
+              std::uint64_t(campaignStats.cacheHits));
+    stats.set("journal_hits",
+              std::uint64_t(campaignStats.journalHits));
+    stats.set("deduplicated",
+              std::uint64_t(campaignStats.deduplicated));
+    stats.set("quarantined",
+              std::uint64_t(campaignStats.quarantined));
+    return stats;
+}
+
+void
+ServeSession::handleSweep(const JsonValue &request)
+{
+    const bool single = stringField(request, "op") == "run";
+
+    std::vector<std::string> benchmarks;
+    std::vector<std::string> schemes;
+    if (single) {
+        benchmarks = {stringField(request, "benchmark")};
+        schemes = {stringField(request, "scheme")};
+    } else {
+        benchmarks = axisField(request, "benchmarks",
+                               ProfileRegistry::names());
+        schemes = axisField(request, "schemes",
+                            SchemeRegistry::global().names());
+    }
+
+    for (const std::string &name : benchmarks) {
+        if (ProfileRegistry::find(name) == nullptr)
+            throw ServeError("unknown benchmark '" + name + "'");
+    }
+    for (std::string &name : schemes) {
+        const SchemeRegistry::Info *info =
+            SchemeRegistry::global().find(name);
+        if (info == nullptr)
+            throw ServeError("unknown scheme '" + name + "'");
+        name = info->name;
+    }
+
+    const ExperimentConfig config = configFromRequest(request);
+    const bool component_stats =
+        request.has("component_stats") &&
+        request.at("component_stats").asBool();
+
+    std::vector<ExperimentRequest> requests;
+    for (const std::string &benchmark : benchmarks) {
+        for (const std::string &scheme : schemes) {
+            requests.push_back(
+                ExperimentRequest::of(benchmark, scheme, config)
+                    .withComponentStats(component_stats));
+        }
+    }
+
+    SweepServiceOptions options;
+    options.cacheDir = serveOptions.cacheDir;
+    options.jobs = serveOptions.jobs;
+    if (request.has("jobs")) {
+        options.jobs = static_cast<unsigned>(
+            request.at("jobs").asUint());
+    }
+    options.crashAfterAppends = serveOptions.crashAfterAppends;
+
+    std::vector<std::string> hashes;
+    for (const ExperimentRequest &job : requests)
+        hashes.push_back(jobHash(job));
+    const std::string campaign = sweepHash(hashes);
+    if (!serveOptions.journalDir.empty()) {
+        std::error_code error;
+        std::filesystem::create_directories(serveOptions.journalDir,
+                                            error);
+        options.journalPath =
+            (std::filesystem::path(serveOptions.journalDir) /
+             (campaign + ".jsonl"))
+                .string();
+    }
+
+    const std::size_t total = requests.size();
+    SweepService service(options);
+    service.run(requests, [&](const SweepJobReport &report,
+                              const JsonValue &run) {
+        JsonValue event = JsonValue::object();
+        event.set("event", "job");
+        event.set("index", std::uint64_t(report.index));
+        event.set("jobs", std::uint64_t(total));
+        event.set("key", report.key);
+        event.set("job_hash", report.hash);
+        event.set("source", jobSourceName(report.source));
+        event.set("wall_seconds", report.wallSeconds);
+        event.set("run", run);
+        emitEvent(std::move(event));
+    });
+    campaignStats = service.stats();
+
+    JsonValue end = JsonValue::object();
+    end.set("event", "sweep-end");
+    end.set("sweep_hash", campaign);
+    end.set("stats", statsJson());
+    emitEvent(std::move(end));
+}
+
+void
+ServeSession::handleRequest(const JsonValue &request)
+{
+    if (!request.isObject())
+        throw ServeError("request must be a JSON object");
+    const std::string op = stringField(request, "op");
+
+    if (op == "ping") {
+        JsonValue event = JsonValue::object();
+        event.set("event", "pong");
+        emitEvent(std::move(event));
+    } else if (op == "list") {
+        JsonValue event = JsonValue::object();
+        event.set("event", "catalog");
+        JsonValue benchmarks = JsonValue::array();
+        for (const std::string &name : ProfileRegistry::names())
+            benchmarks.push(name);
+        event.set("benchmarks", std::move(benchmarks));
+        JsonValue schemes = JsonValue::array();
+        for (const std::string &name :
+             SchemeRegistry::global().names())
+            schemes.push(name);
+        event.set("schemes", std::move(schemes));
+        emitEvent(std::move(event));
+    } else if (op == "sweep" || op == "run") {
+        handleSweep(request);
+    } else if (op == "stats") {
+        JsonValue event = JsonValue::object();
+        event.set("event", "stats");
+        event.set("stats", statsJson());
+        emitEvent(std::move(event));
+    } else if (op == "shutdown") {
+        JsonValue event = JsonValue::object();
+        event.set("event", "bye");
+        emitEvent(std::move(event));
+        shuttingDown = true;
+    } else {
+        throw ServeError("unknown op '" + op + "'");
+    }
+}
+
+std::size_t
+ServeSession::runToCompletion()
+{
+    JsonValue ready = JsonValue::object();
+    ready.set("event", "ready");
+    ready.set("jobs", std::uint64_t(serveOptions.jobs));
+    ready.set("cache_dir", serveOptions.cacheDir);
+    emitEvent(std::move(ready));
+
+    std::size_t handled = 0;
+    std::string line;
+    while (!shuttingDown && std::getline(input, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        ++handled;
+        try {
+            handleRequest(JsonValue::parse(line));
+        } catch (const std::exception &error) {
+            JsonValue event = JsonValue::object();
+            event.set("event", "error");
+            event.set("message", std::string(error.what()));
+            emitEvent(std::move(event));
+        }
+    }
+    return handled;
+}
+
+} // namespace pomtlb

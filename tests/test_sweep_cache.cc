@@ -1,0 +1,677 @@
+/**
+ * @file
+ * Tests for the sweep-at-scale layer (sim/sweep_cache.hh +
+ * sim/sweep_serve.hh): content hashing, the on-disk result cache,
+ * the checkpoint journal, crash/resume byte-identity, the serve
+ * protocol, and docs/sweep-service.md coverage.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/content_hash.hh"
+#include "sim/scheme_registry.hh"
+#include "trace/profile.hh"
+#include "sim/sweep_cache.hh"
+#include "sim/sweep_serve.hh"
+
+namespace fs = std::filesystem;
+
+namespace pomtlb
+{
+namespace
+{
+
+/** A unique scratch directory, recursively removed on destruction. */
+struct ScratchDir
+{
+    explicit ScratchDir(const std::string &tag)
+    {
+        path = (fs::temp_directory_path() /
+                ("pomtlb-" + tag + "-" + std::to_string(::getpid())))
+                   .string();
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+
+    std::string sub(const std::string &name) const
+    {
+        return (fs::path(path) / name).string();
+    }
+
+    std::string path;
+};
+
+/** A deliberately tiny configuration so service tests stay fast. */
+ExperimentConfig
+quickConfig()
+{
+    ExperimentConfig config;
+    config.system.numCores = 2;
+    config.engine.refsPerCore = 400;
+    config.engine.warmupRefsPerCore = 200;
+    return config;
+}
+
+std::vector<ExperimentRequest>
+quickRequests()
+{
+    const ExperimentConfig config = quickConfig();
+    return {ExperimentRequest::of("mcf", "POM-TLB", config),
+            ExperimentRequest::of("mcf", "Baseline", config)};
+}
+
+// ----------------------------------------------------------------
+// Content hashing
+// ----------------------------------------------------------------
+
+TEST(ContentHash, EmptyInputIsTheOffsetBasis)
+{
+    EXPECT_EQ(ContentHash::of(""),
+              "6c62272e07bb014262b821756295c58d");
+}
+
+TEST(ContentHash, IncrementalMatchesOneShot)
+{
+    ContentHash hash;
+    hash.update("hello ").update("world");
+    EXPECT_EQ(hash.hexDigest(), ContentHash::of("hello world"));
+    EXPECT_NE(ContentHash::of("hello world"),
+              ContentHash::of("hello worlD"));
+}
+
+TEST(JobHash, StableAcrossProcesses)
+{
+    // Golden digest of the all-defaults mcf/POM-TLB job. A change
+    // here means the identity recipe changed: bump
+    // kSweepCacheSchemaV1 (old caches must not be served) and
+    // update docs/sweep-service.md.
+    const ExperimentRequest request =
+        ExperimentRequest::of("mcf", "POM-TLB");
+    EXPECT_EQ(jobHash(request),
+              "fb56d45d06d159354b6e733d8edde6bc");
+}
+
+TEST(JobHash, AliasesCanonicaliseToTheSameHash)
+{
+    EXPECT_EQ(jobHash(ExperimentRequest::of("mcf", "pom")),
+              jobHash(ExperimentRequest::of("mcf", "POM-TLB")));
+}
+
+TEST(JobHash, SweepJobsDoesNotSplitTheCache)
+{
+    ExperimentRequest serial = ExperimentRequest::of("mcf", "pom");
+    ExperimentRequest parallel = serial;
+    parallel.config.sweepJobs = 7;
+    EXPECT_EQ(jobHash(serial), jobHash(parallel));
+}
+
+TEST(JobHash, EveryRelevantKnobChangesTheHash)
+{
+    const ExperimentRequest base =
+        ExperimentRequest::of("mcf", "pom");
+    const std::string digest = jobHash(base);
+
+    EXPECT_NE(digest, jobHash(ExperimentRequest::of("gups", "pom")));
+    EXPECT_NE(digest, jobHash(ExperimentRequest::of("mcf", "tsb")));
+    EXPECT_NE(digest,
+              jobHash(ExperimentRequest(base).withLabel("v2")));
+    EXPECT_NE(digest, jobHash(ExperimentRequest(base).withSeed(9)));
+    EXPECT_NE(digest, jobHash(ExperimentRequest(base).withCores(4)));
+    EXPECT_NE(digest,
+              jobHash(ExperimentRequest(base).withPomCapacityMb(64)));
+    EXPECT_NE(digest,
+              jobHash(ExperimentRequest(base).withComponentStats()));
+    EXPECT_NE(digest,
+              jobHash(ExperimentRequest(base).withMode(
+                  ExecMode::Native)));
+}
+
+// ----------------------------------------------------------------
+// SweepCache
+// ----------------------------------------------------------------
+
+JsonValue
+fakeRun(const std::string &benchmark)
+{
+    JsonValue run = JsonValue::object();
+    run.set("benchmark", benchmark);
+    run.set("scheme", "POM-TLB");
+    return run;
+}
+
+TEST(SweepCache, StoreThenLookupRoundTrips)
+{
+    ScratchDir scratch("cache-roundtrip");
+    SweepCache cache(scratch.sub("cache"));
+    const std::string hash = ContentHash::of("job one");
+
+    EXPECT_FALSE(cache.lookup(hash).has_value());
+    cache.store(hash, "mcf/POM-TLB", fakeRun("mcf"));
+    const auto entry = cache.lookup(hash);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(*entry, fakeRun("mcf"));
+    EXPECT_EQ(cache.quarantined(), 0u);
+
+    // The published entry is a valid self-describing document.
+    std::ifstream in(cache.entryPath(hash));
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const JsonValue blob = JsonValue::parse(buffer.str());
+    EXPECT_EQ(blob.at("schema").asString(), kSweepCacheSchemaV1);
+    EXPECT_EQ(blob.at("job_hash").asString(), hash);
+    EXPECT_EQ(blob.at("key").asString(), "mcf/POM-TLB");
+}
+
+TEST(SweepCache, CorruptEntriesAreQuarantinedNotServed)
+{
+    ScratchDir scratch("cache-corrupt");
+    const std::string dir = scratch.sub("cache");
+    SweepCache cache(dir);
+    const std::string truncated = ContentHash::of("truncated");
+    const std::string mismatched = ContentHash::of("mismatched");
+
+    cache.store(truncated, "a/b", fakeRun("a"));
+    cache.store(mismatched, "c/d", fakeRun("c"));
+
+    // Torn blob: unparsable JSON.
+    {
+        std::ofstream out(cache.entryPath(truncated),
+                          std::ios::trunc);
+        out << "{\"schema\": \"pomtlb-swee";
+    }
+    // Parsable blob filed under the wrong hash.
+    {
+        std::ifstream in(cache.entryPath(mismatched));
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::ofstream out(cache.entryPath(truncated) + ".tmp");
+        out << buffer.str();
+        out.close();
+        fs::rename(cache.entryPath(mismatched),
+                   cache.entryPath(truncated));
+    }
+
+    EXPECT_FALSE(cache.lookup(truncated).has_value());
+    EXPECT_EQ(cache.quarantined(), 1u);
+    // Quarantined for post-mortem, not deleted.
+    EXPECT_FALSE(fs::is_empty(fs::path(dir) / "quarantine"));
+    // A subsequent store repairs the slot.
+    cache.store(truncated, "a/b", fakeRun("a"));
+    EXPECT_TRUE(cache.lookup(truncated).has_value());
+}
+
+// ----------------------------------------------------------------
+// SweepJournal
+// ----------------------------------------------------------------
+
+TEST(SweepJournal, ReplaysCompletedJobsAndSurvivesTornTails)
+{
+    ScratchDir scratch("journal");
+    const std::string path = scratch.sub("sweep.journal");
+    const std::string campaign = ContentHash::of("campaign");
+
+    {
+        SweepJournal journal(path);
+        EXPECT_TRUE(journal.open(campaign, 3).empty());
+        journal.append("hash-a", "mcf/POM-TLB", "executed", 1.5,
+                       fakeRun("mcf"));
+        journal.append("hash-b", "mcf/Baseline", "executed", 2.5,
+                       fakeRun("mcf"));
+        EXPECT_EQ(journal.appended(), 2u);
+    }
+    // Simulate a crash mid-append: a torn trailing record.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"job_hash\": \"hash-c\", \"ru";
+    }
+    {
+        SweepJournal journal(path);
+        const auto replayed = journal.open(campaign, 3);
+        EXPECT_EQ(replayed.size(), 2u);
+        EXPECT_TRUE(replayed.count("hash-a"));
+        EXPECT_TRUE(replayed.count("hash-b"));
+        EXPECT_FALSE(replayed.count("hash-c"));
+        // The torn tail was truncated: appends stay valid JSONL.
+        journal.append("hash-c", "gups/POM-TLB", "executed", 0.5,
+                       fakeRun("gups"));
+    }
+    {
+        SweepJournal journal(path);
+        EXPECT_EQ(journal.open(campaign, 3).size(), 3u);
+    }
+    // A different campaign restarts the file instead of replaying.
+    {
+        SweepJournal journal(path);
+        EXPECT_TRUE(
+            journal.open(ContentHash::of("other"), 3).empty());
+    }
+    {
+        SweepJournal journal(path);
+        EXPECT_TRUE(journal.open(campaign, 3).empty());
+    }
+}
+
+TEST(SweepJournal, RecordsCarryTheRealWallTime)
+{
+    ScratchDir scratch("journal-wall");
+    const std::string path = scratch.sub("sweep.journal");
+    SweepJournal journal(path);
+    journal.open(ContentHash::of("c"), 1);
+    journal.append("hash-a", "mcf/POM-TLB", "executed", 3.25,
+                   fakeRun("mcf"));
+
+    std::ifstream in(path);
+    std::string header, record;
+    std::getline(in, header);
+    std::getline(in, record);
+    const JsonValue head = JsonValue::parse(header);
+    EXPECT_EQ(head.at("schema").asString(), kSweepJournalSchemaV1);
+    const JsonValue rec = JsonValue::parse(record);
+    EXPECT_EQ(rec.at("source").asString(), "executed");
+    EXPECT_DOUBLE_EQ(rec.at("wall_seconds").asNumber(), 3.25);
+}
+
+// ----------------------------------------------------------------
+// SweepService
+// ----------------------------------------------------------------
+
+TEST(SweepService, ColdRunMatchesThePlainRunnerByteForByte)
+{
+    const std::vector<ExperimentRequest> requests = quickRequests();
+    SweepService service(SweepServiceOptions{});
+    const JsonValue document = service.run(requests);
+
+    std::vector<ExperimentResult> results =
+        SweepRunner(1).run(requests);
+    for (ExperimentResult &result : results)
+        result.wallSeconds = 0.0; // the document's identity form
+    EXPECT_EQ(document.dump(2),
+              SweepResultWriter::toJson(results).dump(2));
+    EXPECT_EQ(service.stats().jobs, requests.size());
+    EXPECT_EQ(service.stats().executed, requests.size());
+}
+
+TEST(SweepService, WarmRunExecutesNothingAndIsByteIdentical)
+{
+    ScratchDir scratch("service-warm");
+    const std::vector<ExperimentRequest> requests = quickRequests();
+
+    SweepServiceOptions options;
+    options.cacheDir = scratch.sub("cache");
+    SweepService cold(options);
+    const JsonValue first = cold.run(requests);
+    EXPECT_EQ(cold.stats().executed, requests.size());
+
+    SweepService warm(options);
+    const JsonValue second = warm.run(requests);
+    EXPECT_EQ(warm.stats().executed, 0u);
+    EXPECT_EQ(warm.stats().cacheHits, requests.size());
+    EXPECT_EQ(first.dump(2), second.dump(2));
+}
+
+TEST(SweepService, DuplicateJobsExecuteOnce)
+{
+    ScratchDir scratch("service-dedup");
+    std::vector<ExperimentRequest> requests = quickRequests();
+    requests.push_back(requests.front());
+
+    SweepServiceOptions options;
+    options.cacheDir = scratch.sub("cache");
+    SweepService service(options);
+    const JsonValue document = service.run(requests);
+    EXPECT_EQ(service.stats().jobs, 3u);
+    EXPECT_EQ(service.stats().executed, 2u);
+    EXPECT_EQ(service.stats().deduplicated, 1u);
+    EXPECT_EQ(document.at("runs").at(std::size_t{0}).dump(0),
+              document.at("runs").at(std::size_t{2}).dump(0));
+}
+
+TEST(SweepService, EmitsEveryJobInRequestOrder)
+{
+    ScratchDir scratch("service-emit");
+    const std::vector<ExperimentRequest> requests = quickRequests();
+    SweepServiceOptions options;
+    options.cacheDir = scratch.sub("cache");
+    options.jobs = 2;
+
+    std::vector<std::size_t> order;
+    std::vector<std::string> sources;
+    SweepService service(options);
+    service.run(requests, [&](const SweepJobReport &report,
+                              const JsonValue &run) {
+        order.push_back(report.index);
+        sources.push_back(jobSourceName(report.source));
+        EXPECT_EQ(report.key, requests[report.index].key());
+        EXPECT_EQ(report.hash, jobHash(requests[report.index]));
+        EXPECT_EQ(run.at("benchmark").asString(),
+                  requests[report.index].benchmark);
+    });
+    ASSERT_EQ(order.size(), requests.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+    EXPECT_EQ(sources, (std::vector<std::string>{
+                           "executed", "executed"}));
+
+    SweepService warm(options);
+    sources.clear();
+    warm.run(requests,
+             [&](const SweepJobReport &report, const JsonValue &) {
+                 sources.push_back(jobSourceName(report.source));
+                 EXPECT_EQ(report.wallSeconds, 0.0);
+             });
+    EXPECT_EQ(sources,
+              (std::vector<std::string>{"cache", "cache"}));
+}
+
+TEST(SweepService, KilledCampaignResumesByteIdentical)
+{
+    ScratchDir scratch("service-crash");
+    const std::vector<ExperimentRequest> requests = quickRequests();
+
+    SweepServiceOptions options;
+    options.cacheDir = scratch.sub("cache");
+    options.journalPath = scratch.sub("sweep.journal");
+
+    // Child: run the campaign with the crash hook armed — the
+    // process vanishes (status 137, no flushes, no destructors)
+    // right after the first journal append, like a SIGKILL landing
+    // mid-campaign.
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        SweepServiceOptions crashing = options;
+        crashing.crashAfterAppends = 1;
+        SweepService service(crashing);
+        service.run(requests);
+        std::_Exit(0); // not reached: the hook fires first
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 137);
+
+    // Parent: resume. The journaled job replays, only the
+    // remainder executes.
+    SweepService resumed(options);
+    const JsonValue document = resumed.run(requests);
+    EXPECT_EQ(resumed.stats().journalHits, 1u);
+    EXPECT_EQ(resumed.stats().executed, requests.size() - 1);
+
+    // The resumed document is byte-identical to an uninterrupted
+    // run in a pristine cache.
+    SweepServiceOptions pristine;
+    pristine.cacheDir = scratch.sub("cache-reference");
+    SweepService reference(pristine);
+    EXPECT_EQ(document.dump(2), reference.run(requests).dump(2));
+}
+
+// ----------------------------------------------------------------
+// ServeSession
+// ----------------------------------------------------------------
+
+/** Drive one serve session over a scripted request stream. */
+std::vector<JsonValue>
+serve(const std::string &script, const ServeOptions &options)
+{
+    std::istringstream in(script);
+    std::ostringstream out;
+    ServeSession session(in, out, options);
+    session.runToCompletion();
+
+    std::vector<JsonValue> events;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line))
+        events.push_back(JsonValue::parse(line));
+    return events;
+}
+
+TEST(ServeSession, AnswersPingCatalogAndShutdown)
+{
+    const std::vector<JsonValue> events = serve(
+        "{\"op\": \"ping\"}\n"
+        "\n"
+        "{\"op\": \"list\"}\n"
+        "{\"op\": \"shutdown\"}\n"
+        "{\"op\": \"ping\"}\n", // after shutdown: never read
+        ServeOptions{});
+    ASSERT_EQ(events.size(), 4u);
+    for (const JsonValue &event : events)
+        EXPECT_EQ(event.at("schema").asString(), kSweepServeSchemaV1);
+    EXPECT_EQ(events[0].at("event").asString(), "ready");
+    EXPECT_EQ(events[1].at("event").asString(), "pong");
+    EXPECT_EQ(events[2].at("event").asString(), "catalog");
+    EXPECT_EQ(events[2].at("benchmarks").size(),
+              ProfileRegistry::names().size());
+    EXPECT_EQ(events[2].at("schemes").size(),
+              SchemeRegistry::global().names().size());
+    EXPECT_EQ(events[3].at("event").asString(), "bye");
+}
+
+TEST(ServeSession, ReportsErrorsAndKeepsServing)
+{
+    const std::vector<JsonValue> events = serve(
+        "this is not json\n"
+        "{\"op\": \"warp\"}\n"
+        "{\"op\": \"run\", \"benchmark\": \"nope\", "
+        "\"scheme\": \"pom\"}\n"
+        "{\"op\": \"ping\"}\n",
+        ServeOptions{});
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events[1].at("event").asString(), "error");
+    EXPECT_EQ(events[2].at("event").asString(), "error");
+    EXPECT_NE(events[2].at("message").asString().find("warp"),
+              std::string::npos);
+    EXPECT_EQ(events[3].at("event").asString(), "error");
+    EXPECT_NE(events[3].at("message").asString().find("nope"),
+              std::string::npos);
+    EXPECT_EQ(events[4].at("event").asString(), "pong");
+}
+
+TEST(ServeSession, StreamsCampaignsAndServesRepeatsFromCache)
+{
+    ScratchDir scratch("serve-sweep");
+    ServeOptions options;
+    options.cacheDir = scratch.sub("cache");
+    options.journalDir = scratch.sub("journals");
+
+    const std::string request =
+        "{\"op\": \"sweep\", \"benchmarks\": [\"mcf\"], "
+        "\"schemes\": [\"pom\", \"baseline\"], \"cores\": 2, "
+        "\"refs_per_core\": 400, \"warmup_refs_per_core\": 200}\n";
+
+    const std::vector<JsonValue> first =
+        serve(request + "{\"op\": \"shutdown\"}\n", options);
+    // ready, two jobs, sweep-end, bye.
+    ASSERT_EQ(first.size(), 5u);
+    EXPECT_EQ(first[1].at("event").asString(), "job");
+    EXPECT_EQ(first[1].at("index").asUint(), 0u);
+    EXPECT_EQ(first[1].at("key").asString(), "mcf/POM-TLB");
+    EXPECT_EQ(first[1].at("source").asString(), "executed");
+    EXPECT_EQ(first[1].at("run").at("scheme").asString(),
+              "POM-TLB");
+    EXPECT_EQ(first[2].at("index").asUint(), 1u);
+    EXPECT_EQ(first[3].at("event").asString(), "sweep-end");
+    EXPECT_EQ(first[3].at("stats").at("executed").asUint(), 2u);
+
+    const std::vector<JsonValue> second =
+        serve(request + "{\"op\": \"stats\"}\n"
+                        "{\"op\": \"shutdown\"}\n",
+              options);
+    ASSERT_EQ(second.size(), 6u);
+    // The completed campaign's journal replays before the cache is
+    // even consulted.
+    EXPECT_EQ(second[1].at("source").asString(), "journal");
+    EXPECT_EQ(second[2].at("source").asString(), "journal");
+    EXPECT_EQ(second[3].at("stats").at("executed").asUint(), 0u);
+    EXPECT_EQ(second[3].at("stats").at("journal_hits").asUint(),
+              2u);
+    EXPECT_EQ(second[4].at("event").asString(), "stats");
+    // The streamed runs replay the first campaign's bytes exactly.
+    EXPECT_EQ(first[1].at("run").dump(0),
+              second[1].at("run").dump(0));
+    EXPECT_EQ(first[2].at("run").dump(0),
+              second[2].at("run").dump(0));
+    // Both campaigns agree on the campaign identity.
+    EXPECT_EQ(first[3].at("sweep_hash").asString(),
+              second[3].at("sweep_hash").asString());
+}
+
+TEST(ServeSession, RunOpIsSingleJobSugar)
+{
+    const std::vector<JsonValue> events = serve(
+        "{\"op\": \"run\", \"benchmark\": \"mcf\", "
+        "\"scheme\": \"pom\", \"cores\": 2, "
+        "\"refs_per_core\": 400, \"warmup_refs_per_core\": 200}\n"
+        "{\"op\": \"shutdown\"}\n",
+        ServeOptions{});
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[1].at("event").asString(), "job");
+    EXPECT_EQ(events[1].at("jobs").asUint(), 1u);
+    EXPECT_EQ(events[2].at("event").asString(), "sweep-end");
+}
+
+// ----------------------------------------------------------------
+// docs/sweep-service.md coverage
+// ----------------------------------------------------------------
+
+/** Every backticked token in docs/sweep-service.md. */
+std::set<std::string>
+documentedServiceTokens()
+{
+    const std::string path =
+        std::string(POMTLB_SOURCE_DIR) + "/docs/sweep-service.md";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::set<std::string> tokens;
+    std::size_t pos = 0;
+    while ((pos = text.find('`', pos)) != std::string::npos) {
+        const std::size_t end = text.find('`', pos + 1);
+        if (end == std::string::npos)
+            break;
+        tokens.insert(text.substr(pos + 1, end - pos - 1));
+        pos = end + 1;
+    }
+    return tokens;
+}
+
+/**
+ * Collect every object key of @p value into @p keys, recursively —
+ * except below `run` members, whose contents are `pomtlb-sweep-v1`
+ * entries documented field-by-field in docs/internals.md.
+ */
+void
+collectKeys(const JsonValue &value, std::set<std::string> &keys)
+{
+    if (value.isObject()) {
+        for (const auto &[key, member] : value.members()) {
+            keys.insert(key);
+            if (key != "run")
+                collectKeys(member, keys);
+        }
+    } else if (value.isArray()) {
+        for (const JsonValue &element : value.elements())
+            collectKeys(element, keys);
+    }
+}
+
+/**
+ * The contract docs/sweep-service.md advertises: every field the
+ * service layer emits — job-identity fields (the hash recipe),
+ * cache-entry fields, journal fields, and serve-protocol fields —
+ * is documented, as are all event, op, and source names.
+ */
+TEST(SweepServiceDoc, CoversEveryEmittedField)
+{
+    std::set<std::string> emitted;
+
+    // The hash recipe: every job-identity field.
+    collectKeys(jobIdentityJson(ExperimentRequest::of("mcf", "pom")
+                                    .withComponentStats()),
+                emitted);
+
+    // Cache entries and journal records.
+    ScratchDir scratch("doc-coverage");
+    SweepCache cache(scratch.sub("cache"));
+    const std::string hash = ContentHash::of("doc");
+    cache.store(hash, "mcf/POM-TLB", fakeRun("mcf"));
+    {
+        std::ifstream in(cache.entryPath(hash));
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        collectKeys(JsonValue::parse(buffer.str()), emitted);
+    }
+    {
+        const std::string path = scratch.sub("sweep.journal");
+        SweepJournal journal(path);
+        journal.open(ContentHash::of("campaign"), 1);
+        journal.append(hash, "mcf/POM-TLB", "executed", 1.0,
+                       fakeRun("mcf"));
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            collectKeys(JsonValue::parse(line), emitted);
+    }
+
+    // Serve-protocol events, from a session exercising every op.
+    ServeOptions options;
+    options.cacheDir = scratch.sub("serve-cache");
+    options.journalDir = scratch.sub("serve-journals");
+    const std::vector<JsonValue> events = serve(
+        "{\"op\": \"ping\"}\n"
+        "{\"op\": \"list\"}\n"
+        "{\"op\": \"run\", \"benchmark\": \"mcf\", "
+        "\"scheme\": \"pom\", \"cores\": 2, "
+        "\"refs_per_core\": 400, \"warmup_refs_per_core\": 200}\n"
+        "{\"op\": \"stats\"}\n"
+        "{\"op\": \"nonsense\"}\n"
+        "{\"op\": \"shutdown\"}\n",
+        options);
+    std::set<std::string> eventNames;
+    for (const JsonValue &event : events) {
+        collectKeys(event, emitted);
+        eventNames.insert(event.at("event").asString());
+    }
+    // The scripted session above must have produced every event
+    // kind the protocol defines.
+    EXPECT_EQ(eventNames,
+              (std::set<std::string>{"ready", "pong", "catalog",
+                                     "job", "sweep-end", "stats",
+                                     "error", "bye"}));
+
+    // Names that are part of the vocabulary, not JSON keys.
+    for (const char *name :
+         {"ping", "list", "sweep", "run", "shutdown", "op",
+          "executed", "cache", "journal", kSweepCacheSchemaV1,
+          kSweepJournalSchemaV1, kSweepServeSchemaV1})
+        emitted.insert(name);
+    for (const std::string &name : eventNames)
+        emitted.insert(name);
+
+    ASSERT_GT(emitted.size(), 80u);
+    const std::set<std::string> tokens = documentedServiceTokens();
+    for (const std::string &name : emitted) {
+        EXPECT_TRUE(tokens.count(name))
+            << "field '" << name
+            << "' is not documented in docs/sweep-service.md";
+    }
+}
+
+} // namespace
+} // namespace pomtlb

@@ -11,6 +11,9 @@
  *   compare                    run every registered scheme (a
  *                              Figure 8 row)
  *   sweep                      parallel benchmark x scheme sweep
+ *   serve                      JSONL sweep service loop (requests
+ *                              from stdin or a FIFO, streamed
+ *                              pomtlb-serve-v1 events on stdout)
  *   record-trace               dump a synthetic trace to a file
  *   replay-trace               drive a machine from trace files
  *
@@ -18,12 +21,26 @@
  *   --jobs N                   worker threads (0 = all hardware
  *                              threads; default 0)
  *   --benchmarks a,b,c         comma list (default: all Table 2)
- *   --schemes x,y              comma list (default: all four)
+ *   --schemes x,y              comma list (default: all registered)
  *   --out FILE                 write JSON results for
  *                              scripts/plot_results.py
  *   --stats                    embed per-component statistics in
  *                              the JSON output
+ *   --cache-dir DIR            memoize per-job results under DIR;
+ *                              repeated sweeps execute only the
+ *                              delta (docs/sweep-service.md)
+ *   --journal FILE             checkpoint completed jobs to FILE;
+ *                              a killed sweep resumes from it
  *   plus the run/compare configuration options below
+ *
+ * serve options:
+ *   --in FILE                  read requests from FILE (a FIFO
+ *                              works; default stdin)
+ *   --cache-dir DIR            shared result cache for every
+ *                              campaign served
+ *   --journal-dir DIR          one checkpoint journal per campaign
+ *                              under DIR
+ *   --jobs N                   worker threads per campaign
  *
  * Common options (run / compare / sweep):
  *   --benchmark NAME           workload (default mcf)
@@ -79,6 +96,8 @@
 #include "sim/scheme_registry.hh"
 #include "sim/stats_export.hh"
 #include "sim/sweep.hh"
+#include "sim/sweep_cache.hh"
+#include "sim/sweep_serve.hh"
 #include "sim/translation_trace.hh"
 #include "trace/generator.hh"
 #include "trace/source.hh"
@@ -123,6 +142,12 @@ struct CliOptions
     unsigned jobs = 0; // 0 = all hardware threads
     std::string benchmarksList;
     std::string schemesList;
+    std::string cacheDir;
+    std::string journalPath;
+
+    // serve
+    std::string journalDir;
+    std::string inPath;
 };
 
 [[noreturn]] void
@@ -131,7 +156,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: pomtlb <list|list-schemes|show-config|run|compare|"
-        "sweep|record-trace|replay-trace> "
+        "sweep|serve|record-trace|replay-trace> "
         "[options]\n  see the header of tools/pomtlb_cli.cc or the "
         "README for the option list\n");
     std::exit(2);
@@ -215,6 +240,14 @@ parseOptions(int argc, char **argv, int first)
             options.benchmarksList = next();
         else if (arg == "--schemes")
             options.schemesList = next();
+        else if (arg == "--cache-dir")
+            options.cacheDir = next();
+        else if (arg == "--journal")
+            options.journalPath = next();
+        else if (arg == "--journal-dir")
+            options.journalDir = next();
+        else if (arg == "--in")
+            options.inPath = next();
         else
             usage();
     }
@@ -509,12 +542,41 @@ commandSweep(const CliOptions &options)
     if (options.dumpStats)
         spec.withComponentStats();
 
+    const bool service_mode =
+        !options.cacheDir.empty() || !options.journalPath.empty();
     const SweepRunner runner(options.jobs);
     std::fprintf(stderr, "sweep: %zu jobs on %u worker thread(s)\n",
                  spec.jobCount(), runner.jobs());
 
     const auto start = std::chrono::steady_clock::now();
-    const std::vector<ExperimentResult> results = runner.run(spec);
+    std::vector<ExperimentResult> results;
+    JsonValue document;
+    SweepServiceStats service_stats;
+    if (service_mode) {
+        SweepServiceOptions service_options;
+        service_options.cacheDir = options.cacheDir;
+        service_options.journalPath = options.journalPath;
+        service_options.jobs = options.jobs;
+        if (const char *crash =
+                std::getenv("POMTLB_SWEEP_CRASH_AFTER")) {
+            service_options.crashAfterAppends =
+                static_cast<unsigned>(parseNumber(crash));
+        }
+        SweepService service(service_options);
+        const std::size_t total = spec.jobCount();
+        document = service.run(
+            spec, [&](const SweepJobReport &report, const JsonValue &) {
+                std::fprintf(stderr, "  [%zu/%zu] %s (%s)\n",
+                             report.index + 1, total,
+                             report.key.c_str(),
+                             jobSourceName(report.source));
+            });
+        service_stats = service.stats();
+        results = SweepResultWriter::fromJson(document);
+    } else {
+        results = runner.run(spec);
+        document = SweepResultWriter::toJson(results);
+    }
     const double wall =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
@@ -535,6 +597,16 @@ commandSweep(const CliOptions &options)
     table.print(std::cout);
     std::printf("\n%zu experiments in %.2f s wall (%u workers)\n",
                 results.size(), wall, runner.jobs());
+    if (service_mode) {
+        std::printf("sweep-cache: jobs=%zu executed=%zu "
+                    "cache_hits=%zu journal_hits=%zu "
+                    "deduplicated=%zu quarantined=%zu\n",
+                    service_stats.jobs, service_stats.executed,
+                    service_stats.cacheHits,
+                    service_stats.journalHits,
+                    service_stats.deduplicated,
+                    service_stats.quarantined);
+    }
 
     if (options.outPathSet) {
         std::ofstream out(options.outPath);
@@ -543,10 +615,45 @@ commandSweep(const CliOptions &options)
                          options.outPath.c_str());
             return 1;
         }
-        SweepResultWriter::write(out, results);
+        document.write(out);
+        out << "\n";
         std::printf("wrote JSON results to %s\n",
                     options.outPath.c_str());
     }
+    return 0;
+}
+
+int
+commandServe(const CliOptions &options)
+{
+    ServeOptions serve_options;
+    serve_options.cacheDir = options.cacheDir;
+    serve_options.journalDir = options.journalDir;
+    serve_options.jobs = options.jobs;
+    if (const char *crash = std::getenv("POMTLB_SWEEP_CRASH_AFTER")) {
+        serve_options.crashAfterAppends =
+            static_cast<unsigned>(parseNumber(crash));
+    }
+
+    std::ifstream file_input;
+    if (!options.inPath.empty()) {
+        // Opening a FIFO blocks until a writer connects, which is
+        // exactly the behaviour a service loop wants.
+        file_input.open(options.inPath);
+        if (!file_input) {
+            std::fprintf(stderr, "cannot open %s for reading\n",
+                         options.inPath.c_str());
+            return 1;
+        }
+    }
+    std::istream &input =
+        options.inPath.empty()
+            ? static_cast<std::istream &>(std::cin)
+            : static_cast<std::istream &>(file_input);
+
+    ServeSession session(input, std::cout, serve_options);
+    const std::size_t handled = session.runToCompletion();
+    std::fprintf(stderr, "serve: handled %zu request(s)\n", handled);
     return 0;
 }
 
@@ -628,6 +735,8 @@ main(int argc, char **argv)
         return commandCompare(options);
     if (command == "sweep")
         return commandSweep(options);
+    if (command == "serve")
+        return commandServe(options);
     if (command == "record-trace")
         return commandRecordTrace(options);
     if (command == "replay-trace")
