@@ -43,7 +43,7 @@ runAssoc(::benchmark::State &state, const BenchmarkProfile &profile)
             config.system.pomTlb.cacheable = false;
             config.system.pomTlb.capacityBytes = 4 << 20;
             const SchemeRunSummary summary =
-                runScheme(profile, SchemeKind::PomTlb, config);
+                runScheme(profile, "POM-TLB", config);
             row.emplace_back(std::to_string(ways) + "-way walk frac",
                              summary.walkFraction);
             state.counters[std::to_string(ways) + "w"] =

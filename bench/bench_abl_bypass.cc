@@ -45,7 +45,7 @@ runBypass(::benchmark::State &state, const BenchmarkProfile &profile)
         SweepSpec()
             .withBase(config)
             .withBenchmarks({profile.name})
-            .withSchemes({SchemeKind::PomTlb})
+            .withSchemes({"POM-TLB"})
             .withVariant("both",
                          [](ExperimentConfig &c) {
                              predictors(c, true, true);

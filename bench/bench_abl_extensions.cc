@@ -30,7 +30,7 @@ penaltyWith(const BenchmarkProfile &profile, bool tlb_aware,
     config.system.tlbAwareCaching = tlb_aware;
     config.system.pomTlb.prefetchNextSet = prefetch;
     config.system.pomTlb.unifiedOrganization = unified;
-    return runScheme(profile, SchemeKind::PomTlb, config)
+    return runScheme(profile, "POM-TLB", config)
         .avgPenaltyPerMiss;
 }
 

@@ -35,12 +35,12 @@ const char *const workloads[] = {"mcf", "gups", "astar", "lbm",
 
 /** Total simulated machine cycles (max over cores) for a variant. */
 double
-totalCycles(const BenchmarkProfile &profile, SchemeKind kind,
-            bool l4_cache)
+totalCycles(const BenchmarkProfile &profile,
+            const std::string &scheme, bool l4_cache)
 {
     ExperimentConfig config = figureConfig();
     config.system.dieStackedL4Cache = l4_cache;
-    Machine machine(config.system, kind);
+    Machine machine(config.system, scheme);
     SimulationEngine engine(machine, profile, config.engine);
     const RunResult result = engine.run();
     double cycles = 0.0;
@@ -54,11 +54,11 @@ runL4(::benchmark::State &state, const BenchmarkProfile &profile)
 {
     for (auto _ : state) {
         const double base =
-            totalCycles(profile, SchemeKind::NestedWalk, false);
+            totalCycles(profile, "Baseline", false);
         const double l4 =
-            totalCycles(profile, SchemeKind::NestedWalk, true);
+            totalCycles(profile, "Baseline", true);
         const double pom =
-            totalCycles(profile, SchemeKind::PomTlb, false);
+            totalCycles(profile, "POM-TLB", false);
 
         const double l4_speedup = (base / l4 - 1.0) * 100.0;
         const double pom_speedup = (base / pom - 1.0) * 100.0;

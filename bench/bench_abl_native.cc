@@ -26,7 +26,7 @@ runNative(::benchmark::State &state, const BenchmarkProfile &profile)
 
     for (auto _ : state) {
         const SchemeRunSummary native_base = runScheme(
-            profile, SchemeKind::NestedWalk, native);
+            profile, "Baseline", native);
         const double native_imp = pomImprovementOnly(profile, native);
         const double virt_imp = pomImprovementOnly(profile, virt);
         state.counters["native_pct"] = native_imp;

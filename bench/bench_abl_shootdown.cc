@@ -29,7 +29,7 @@ penaltyAtInterval(const BenchmarkProfile &profile,
 {
     ExperimentConfig config = figureConfig();
     config.engine.shootdownIntervalRefs = interval;
-    Machine machine(config.system, SchemeKind::PomTlb);
+    Machine machine(config.system, "POM-TLB");
     SimulationEngine engine(machine, profile, config.engine);
     return engine.run().totals().avgPenaltyPerMiss;
 }

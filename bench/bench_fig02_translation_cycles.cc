@@ -25,7 +25,7 @@ runFig2(::benchmark::State &state, const BenchmarkProfile &profile)
     config.system.mode = ExecMode::Virtualized;
     for (auto _ : state) {
         const SchemeRunSummary baseline =
-            runScheme(profile, SchemeKind::NestedWalk, config);
+            runScheme(profile, "Baseline", config);
         state.counters["cycles_per_miss"] =
             baseline.avgPenaltyPerMiss;
         collector().record(

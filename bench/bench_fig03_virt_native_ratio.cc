@@ -25,9 +25,9 @@ runFig3(::benchmark::State &state, const BenchmarkProfile &profile)
 
     for (auto _ : state) {
         const SchemeRunSummary virt = runScheme(
-            profile, SchemeKind::NestedWalk, virt_config);
+            profile, "Baseline", virt_config);
         const SchemeRunSummary native = runScheme(
-            profile, SchemeKind::NestedWalk, native_config);
+            profile, "Baseline", native_config);
         const double ratio =
             native.avgPenaltyPerMiss > 0.0
                 ? virt.avgPenaltyPerMiss / native.avgPenaltyPerMiss

@@ -31,7 +31,7 @@ runFig8(::benchmark::State &state, const BenchmarkProfile &profile)
         std::vector<std::pair<std::string, double>> row;
         for (const auto &[name, summary] : comparison.runs) {
             (void)summary;
-            if (name == schemeKindName(SchemeKind::NestedWalk))
+            if (name == "Baseline")
                 continue;
             const SchemeDelta &delta = comparison.delta(name);
             state.counters[name + "_improvement_pct"] =
@@ -40,7 +40,7 @@ runFig8(::benchmark::State &state, const BenchmarkProfile &profile)
         }
         row.emplace_back(
             "pom_cost_ratio",
-            comparison.delta(SchemeKind::PomTlb).costRatio);
+            comparison.delta("POM-TLB").costRatio);
         collector().record(profile.name, std::move(row));
     }
 }

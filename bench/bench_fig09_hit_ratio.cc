@@ -23,7 +23,7 @@ runFig9(::benchmark::State &state, const BenchmarkProfile &profile)
     const ExperimentConfig config = figureConfig();
     for (auto _ : state) {
         const SchemeRunSummary pom =
-            runScheme(profile, SchemeKind::PomTlb, config);
+            runScheme(profile, "POM-TLB", config);
         state.counters["l2d_service"] = pom.pomL2CacheServiceRate;
         state.counters["l3d_service"] = pom.pomL3CacheServiceRate;
         state.counters["pom_dram_service"] = pom.pomDramServiceRate;

@@ -21,7 +21,7 @@ runFig10(::benchmark::State &state, const BenchmarkProfile &profile)
     const ExperimentConfig config = figureConfig();
     for (auto _ : state) {
         const SchemeRunSummary pom =
-            runScheme(profile, SchemeKind::PomTlb, config);
+            runScheme(profile, "POM-TLB", config);
         state.counters["size_accuracy"] =
             pom.sizePredictorAccuracy;
         state.counters["bypass_accuracy"] =

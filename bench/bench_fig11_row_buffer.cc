@@ -21,7 +21,7 @@ runFig11(::benchmark::State &state, const BenchmarkProfile &profile)
     const ExperimentConfig config = figureConfig();
     for (auto _ : state) {
         const SchemeRunSummary pom =
-            runScheme(profile, SchemeKind::PomTlb, config);
+            runScheme(profile, "POM-TLB", config);
         state.counters["row_buffer_hit_rate"] =
             pom.dieStackedRowBufferHitRate;
         collector().record(

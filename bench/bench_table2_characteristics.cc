@@ -26,7 +26,7 @@ runTable2(::benchmark::State &state, const BenchmarkProfile &profile)
     ExperimentConfig config = figureConfig();
     for (auto _ : state) {
         const SchemeRunSummary virt =
-            runScheme(profile, SchemeKind::NestedWalk, config);
+            runScheme(profile, "Baseline", config);
 
         // Simulated large-page fraction of the mapped footprint
         // (Table 2's number comes from the Linux pagemap, i.e. the

@@ -126,12 +126,8 @@ std::vector<std::string>
 resolveSchemes(const std::string &list)
 {
     using pomtlb::SchemeRegistry;
-    if (list.empty()) {
-        std::vector<std::string> legacy;
-        for (const pomtlb::SchemeKind kind : pomtlb::allSchemeKinds())
-            legacy.emplace_back(pomtlb::schemeKindName(kind));
-        return legacy;
-    }
+    if (list.empty())
+        return {"Baseline", "POM-TLB", "Shared_L2", "TSB"};
     if (list == "all")
         return SchemeRegistry::global().names();
     std::vector<std::string> schemes;

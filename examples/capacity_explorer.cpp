@@ -34,7 +34,7 @@ main(int argc, char **argv)
 
     // One baseline run; its translation cycles anchor every ratio.
     const SchemeRunSummary baseline =
-        runScheme(profile, SchemeKind::NestedWalk, config);
+        runScheme(profile, "Baseline", config);
 
     ResultTable table({"capacity", "4KB-page reach", "walk %",
                        "cyc/miss", "speedup %"});
@@ -42,7 +42,7 @@ main(int argc, char **argv)
     for (const std::uint64_t mb : {1, 2, 4, 8, 16, 32, 64}) {
         config.system.pomTlb.capacityBytes = mb << 20;
         const SchemeRunSummary pom =
-            runScheme(profile, SchemeKind::PomTlb, config);
+            runScheme(profile, "POM-TLB", config);
         const double ratio =
             static_cast<double>(pom.translationCycles) /
             static_cast<double>(baseline.translationCycles);

@@ -4,79 +4,74 @@
  * one host — the cloud scenario the paper's introduction motivates
  * (EC2/OpenStack-style hosts running heterogeneous guests).
  *
- * Cores 0-1 run mcf in VM 1; cores 2-3 run gups in VM 2. The engine
- * is driven through heterogeneous per-core trace sources, showing the
- * library's composition: any TraceSource mix can share one machine.
+ * Two tenants share a 4-core host: mcf in VM 1 (2 vCPUs, cores 0-1)
+ * and gups in VM 2 (2 vCPUs, cores 2-3), declared through the
+ * scenario API and reported with per-tenant QoS percentiles.
  *
  *   $ ./mixed_tenants
  */
 
 #include <cstdio>
-#include <memory>
-#include <vector>
+#include <string>
 
-#include "sim/engine.hh"
 #include "sim/machine.hh"
-#include "trace/source.hh"
+#include "sim/scenario.hh"
 
 int
 main()
 {
     using namespace pomtlb;
 
-    SystemConfig system = SystemConfig::table1();
-    system.numCores = 4;
-
-    EngineConfig engine_config;
-    engine_config.refsPerCore = 40000;
-    engine_config.warmupRefsPerCore = 40000;
-    engine_config.coreVm = {1, 1, 2, 2};
-
-    const BenchmarkProfile &mcf = ProfileRegistry::byName("mcf");
-    const BenchmarkProfile &gups = ProfileRegistry::byName("gups");
-
-    auto make_sources = [&] {
-        std::vector<std::unique_ptr<TraceSource>> sources;
-        sources.push_back(
-            std::make_unique<GeneratorSource>(mcf, 0, 42));
-        sources.push_back(
-            std::make_unique<GeneratorSource>(mcf, 1, 42));
-        sources.push_back(
-            std::make_unique<GeneratorSource>(gups, 2, 42));
-        sources.push_back(
-            std::make_unique<GeneratorSource>(gups, 3, 42));
-        return sources;
-    };
-
-    // The pid-policy profile: rate-mode gives each core its own
-    // process, which is what distinct tenants need.
-    const BenchmarkProfile &pid_policy = mcf;
+    ScenarioSpec spec;
+    spec.name = "mixed-tenants";
+    spec.system.numCores = 4;
+    spec.engine.refsPerCore = 40000;
+    spec.engine.warmupRefsPerCore = 40000;
+    spec.withTenant(TenantSpec{}
+                        .withName("mcf-tenant")
+                        .withBenchmark("mcf")
+                        .withVcpus(2))
+        .withTenant(TenantSpec{}
+                        .withName("gups-tenant")
+                        .withBenchmark("gups")
+                        .withVcpus(2));
 
     std::printf("4 cores, 2 VMs: mcf (VM 1, cores 0-1) + gups "
                 "(VM 2, cores 2-3)\n\n");
 
-    for (const SchemeKind kind :
-         {SchemeKind::NestedWalk, SchemeKind::PomTlb}) {
-        Machine machine(system, kind);
-        SimulationEngine engine(machine, pid_policy, engine_config,
-                                make_sources());
-        const RunResult result = engine.run();
+    for (const std::string scheme : {"Baseline", "POM-TLB"}) {
+        ScenarioSpec run_spec = spec;
+        run_spec.scheme = scheme;
+        Machine machine(run_spec.system, run_spec.scheme);
+        const ScenarioResult result = runScenario(machine, run_spec);
 
-        std::printf("-- %s --\n", schemeKindName(kind));
-        for (unsigned core = 0; core < 4; ++core) {
-            const CoreRunStats &stats = result.cores[core];
-            std::printf("  core %u (%s, VM %u): %6llu misses, "
-                        "%6.1f cycles/miss\n",
-                        core, core < 2 ? "mcf " : "gups",
-                        engine_config.coreVm[core],
-                        static_cast<unsigned long long>(
-                            stats.lastLevelTlbMisses),
-                        stats.avgPenaltyPerMiss);
+        std::printf("-- %s --\n", scheme.c_str());
+        for (const TenantResult &tenant : result.tenants) {
+            const double miss_rate =
+                tenant.refs == 0
+                    ? 0.0
+                    : static_cast<double>(tenant.lastLevelTlbMisses) /
+                          static_cast<double>(tenant.refs);
+            std::printf(
+                "  %-11s (VM %u): %8llu refs, %5.2f%% LL-miss, "
+                "p50/p95/p99 = %llu/%llu/%llu cyc\n",
+                tenant.name.c_str(), tenant.vm,
+                static_cast<unsigned long long>(tenant.refs),
+                100.0 * miss_rate,
+                static_cast<unsigned long long>(
+                    tenant.translationLatency.percentileUpperBound(
+                        50.0)),
+                static_cast<unsigned long long>(
+                    tenant.translationLatency.percentileUpperBound(
+                        95.0)),
+                static_cast<unsigned long long>(
+                    tenant.translationLatency.percentileUpperBound(
+                        99.0)));
         }
         std::printf("  machine-wide: %.1f cycles/miss, %.2f%% of "
                     "misses walked\n\n",
-                    result.totals().avgPenaltyPerMiss,
-                    100.0 * result.totals().walkFraction);
+                    result.run.totals().avgPenaltyPerMiss,
+                    100.0 * result.run.totals().walkFraction);
     }
 
     std::printf("One 16 MB POM-TLB absorbs both tenants' translation "

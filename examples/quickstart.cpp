@@ -47,7 +47,7 @@ main(int argc, char **argv)
     // 2. Run the conventional baseline: every L2 TLB miss triggers a
     //    2D nested page walk (up to 24 memory references).
     const SchemeRunSummary baseline =
-        runScheme(profile, SchemeKind::NestedWalk, config);
+        runScheme(profile, "Baseline", config);
     std::printf("\n-- baseline (nested walks) --\n");
     std::printf("L2 TLB misses   : %llu\n",
                 static_cast<unsigned long long>(
@@ -57,7 +57,7 @@ main(int argc, char **argv)
 
     // 3. Run the same trace on the POM-TLB machine.
     const SchemeRunSummary pom =
-        runScheme(profile, SchemeKind::PomTlb, config);
+        runScheme(profile, "POM-TLB", config);
     std::printf("\n-- POM-TLB --\n");
     std::printf("cycles per miss : %.1f\n", pom.avgPenaltyPerMiss);
     std::printf("page walks left : %.2f%% of misses\n",

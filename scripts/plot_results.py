@@ -25,9 +25,13 @@ Three input formats are accepted and auto-detected:
 * a saved ``pomtlb-serve-v1`` event stream (the JSONL stdout of
   ``pomtlb serve``, even truncated mid-campaign): the ``run`` object
   of every ``job`` event is assembled back into a sweep document, in
-  the request order the service guarantees; and
+  the request order the service guarantees;
 * a single ``pomtlb-sweepcache-v1`` cache entry
-  (``<cache-dir>/<hash>.json``), plotted as a one-run sweep.
+  (``<cache-dir>/<hash>.json``), plotted as a one-run sweep; and
+* a ``pomtlb-scenario-v1`` consolidation-scenario document
+  (``pomtlb scenario --out``), single scenario or campaign wrapper:
+  rendered as a per-tenant QoS chart, one bar group per tenant with
+  the p50/p95/p99 translation-cycle percentiles.
 
 The default output is a grouped bar chart in the paper's figure
 style: benchmarks on the x-axis, one bar group per series.
@@ -40,10 +44,12 @@ reads is documented in docs/metrics.md.
 Unknown *versions* of a known result schema family (e.g. a future
 ``pomtlb-sweep-v2``) produce a warning and a best-effort parse;
 missing required fields are hard errors naming the field. Cache
-entries and serve events are different: a version bump there changes
-the job-identity recipe or the wire protocol, so an unknown
-``pomtlb-sweepcache-*`` or ``pomtlb-serve-*`` version is a hard
-error naming the input path and the offending schema. Run
+entries, serve events, and scenario documents are different: a
+version bump there changes the job-identity recipe, the wire
+protocol, or the scenario-identity recipe, so an unknown
+``pomtlb-sweepcache-*``, ``pomtlb-serve-*``, or
+``pomtlb-scenario-*`` version is a hard error naming the input path
+and the offending schema. Run
 ``scripts/plot_results.py --selftest`` to execute the built-in parser
 tests (no matplotlib needed; CI runs this as a ctest).
 
@@ -61,6 +67,14 @@ SWEEP_SCHEMA = "pomtlb-sweep-v1"
 STATS_SCHEMA = "pomtlb-stats-v1"
 SWEEPCACHE_SCHEMA = "pomtlb-sweepcache-v1"
 SERVE_SCHEMA = "pomtlb-serve-v1"
+SCENARIO_SCHEMA = "pomtlb-scenario-v1"
+
+#: The per-tenant QoS percentiles a scenario chart plots, in order.
+SCENARIO_PERCENTILES = [
+    "p50_translation_cycles",
+    "p95_translation_cycles",
+    "p99_translation_cycles",
+]
 
 #: Stacked-segment order for --breakdown, matching the ServicePoint
 #: order of sim/scheme.hh ("sram_tlb" is the MMUs' aggregate share).
@@ -132,6 +146,78 @@ def _unwrap_cache_entry(document):
         "schema": SWEEP_SCHEMA,
         "runs": [_require(document, "run", "")],
     }
+
+
+def _scenario_documents(document):
+    """Return the scenario documents in *document*.
+
+    Accepts a single ``pomtlb-scenario-v1`` document or the campaign
+    wrapper (``runs`` holding one scenario document each). Scenario
+    documents are content-addressed like cache entries: a version
+    bump means the scenario-identity recipe changed, so an unknown
+    ``pomtlb-scenario-*`` version is a hard error (the CLI prefixes
+    the input path), never a best-effort parse.
+    """
+    schema = _require(document, "schema", "")
+    if schema != SCENARIO_SCHEMA:
+        raise ParseError(
+            f"unsupported scenario schema {schema!r}; this script "
+            f"understands {SCENARIO_SCHEMA} only (a scenario "
+            "version bump changes the identity recipe — re-run "
+            "`pomtlb scenario`)"
+        )
+    if "runs" not in document:
+        return [document]
+    documents = []
+    for index, run in enumerate(document["runs"]):
+        context = f"runs[{index}]."
+        inner = _require(run, "schema", context)
+        if inner != SCENARIO_SCHEMA:
+            raise ParseError(
+                f"{context}schema: unsupported scenario schema "
+                f"{inner!r}; this script understands "
+                f"{SCENARIO_SCHEMA} only"
+            )
+        documents.append(run)
+    if not documents:
+        raise ParseError(
+            "scenario campaign contains no runs — nothing to plot"
+        )
+    return documents
+
+
+def scenario_rows(document):
+    """Per-tenant QoS rows from scenario document(s).
+
+    One row per tenant: the tenant name (prefixed with the scenario
+    name when the input holds several scenarios) followed by the
+    p50/p95/p99 translation-cycle percentiles, ready for the grouped
+    bar chart or a CSV-style table.
+    """
+    documents = _scenario_documents(document)
+    rows = []
+    for doc in documents:
+        scenario = _require(doc, "scenario", "")
+        name = _require(scenario, "name", "scenario.")
+        for index, tenant in enumerate(
+            _require(doc, "tenants", "")
+        ):
+            context = f"tenants[{index}]."
+            label = _require(tenant, "name", context)
+            if len(documents) > 1:
+                label = f"{name}/{label}"
+            row = {"tenant": label}
+            for key in SCENARIO_PERCENTILES:
+                row[key.replace("_translation_cycles", "")] = str(
+                    _require(tenant, key, context)
+                )
+            rows.append(row)
+    if not rows:
+        raise ParseError(
+            "scenario document contains no tenants — nothing to "
+            "plot"
+        )
+    return rows
 
 
 def assemble_serve_stream(lines):
@@ -625,6 +711,87 @@ def selftest():
                 load_json_input(json.dumps(document)), document
             )
 
+        def scenario_doc(self, name="churn-4t", tenants=2):
+            return {
+                "schema": SCENARIO_SCHEMA,
+                "scenario": {"name": name},
+                "scenario_hash": "0" * 32,
+                "tenants": [
+                    {
+                        "name": f"t{i}",
+                        "benchmark": "mcf",
+                        "refs": 1000,
+                        "p50_translation_cycles": 0,
+                        "p95_translation_cycles": 15 + i,
+                        "p99_translation_cycles": 255,
+                    }
+                    for i in range(tenants)
+                ],
+                "events": {
+                    "departures": 1,
+                    "migrations": 0,
+                    "storm_shootdowns": 8,
+                },
+            }
+
+        def test_scenario_rows_carry_tenant_percentiles(self):
+            rows = scenario_rows(self.scenario_doc())
+            self.assertEqual(
+                [r["tenant"] for r in rows], ["t0", "t1"]
+            )
+            self.assertEqual(rows[0]["p50"], "0")
+            self.assertEqual(rows[1]["p95"], "16")
+            self.assertEqual(rows[1]["p99"], "255")
+
+        def test_scenario_campaign_prefixes_scenario_names(self):
+            campaign = {
+                "schema": SCENARIO_SCHEMA,
+                "runs": [
+                    self.scenario_doc("a-1t", tenants=1),
+                    self.scenario_doc("b-2t", tenants=2),
+                ],
+            }
+            rows = scenario_rows(campaign)
+            self.assertEqual(
+                [r["tenant"] for r in rows],
+                ["a-1t/t0", "b-2t/t0", "b-2t/t1"],
+            )
+
+        def test_unknown_scenario_version_is_a_hard_error(self):
+            document = self.scenario_doc()
+            document["schema"] = "pomtlb-scenario-v9"
+            with self.assertRaisesRegex(
+                ParseError, "pomtlb-scenario-v9"
+            ):
+                scenario_rows(document)
+
+        def test_unknown_nested_scenario_version_errors(self):
+            run = self.scenario_doc()
+            run["schema"] = "pomtlb-scenario-v9"
+            campaign = {
+                "schema": SCENARIO_SCHEMA,
+                "runs": [run],
+            }
+            with self.assertRaisesRegex(
+                ParseError, r"runs\[0\].*pomtlb-scenario-v9"
+            ):
+                scenario_rows(campaign)
+
+        def test_scenario_missing_percentile_names_the_path(self):
+            document = self.scenario_doc()
+            del document["tenants"][1]["p95_translation_cycles"]
+            with self.assertRaisesRegex(
+                ParseError,
+                r"tenants\[1\].p95_translation_cycles",
+            ):
+                scenario_rows(document)
+
+        def test_empty_scenario_campaign_errors(self):
+            with self.assertRaisesRegex(ParseError, "no runs"):
+                scenario_rows(
+                    {"schema": SCENARIO_SCHEMA, "runs": []}
+                )
+
     suite = unittest.defaultTestLoader.loadTestsFromTestCase(
         ParserTests
     )
@@ -680,7 +847,18 @@ def main():
             plot_breakdown(labels, series, args)
             return 0
         if text.lstrip().startswith("{"):
-            rows = sweep_rows(load_json_input(text), args.metric)
+            document = load_json_input(text)
+            schema = (
+                document.get("schema", "")
+                if isinstance(document, dict)
+                else ""
+            )
+            if isinstance(schema, str) and schema.startswith(
+                "pomtlb-scenario-"
+            ):
+                rows = scenario_rows(document)
+            else:
+                rows = sweep_rows(document, args.metric)
         else:
             rows = extract_csv(text)
     except ParseError as error:

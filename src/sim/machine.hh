@@ -50,6 +50,11 @@ class Machine
      * Legacy-enum convenience: equivalent to constructing with
      * schemeKindName(scheme_kind).
      *
+     * @deprecated Construct with the registry scheme name (e.g.
+     *             "POM-TLB") instead; this shim exists only for
+     *             out-of-tree callers and will be removed with
+     *             SchemeKind.
+     *
      * @param config      System geometry and feature switches.
      * @param scheme_kind Which of the paper's four schemes to build.
      */

@@ -33,6 +33,12 @@ class StatGroup;
  * remains for the original four so existing call sites keep
  * compiling, and maps 1:1 onto registry entries that declare a
  * `legacy` kind.
+ *
+ * @deprecated Select schemes by registry name. The enum and every
+ *             overload taking it are a compatibility shim for
+ *             out-of-tree callers; in-tree code must not use them
+ *             (enforced by tests/test_scheme_api_migration.cc), and
+ *             the shim will be removed in a future major version.
  */
 enum class SchemeKind : std::uint8_t
 {
@@ -49,6 +55,9 @@ enum class SchemeKind : std::uint8_t
 /**
  * Human-readable scheme name — identical to the scheme's canonical
  * registry name, so JSON documents written through either path match.
+ *
+ * @deprecated Part of the SchemeKind compatibility shim; use the
+ *             registry name directly.
  */
 const char *schemeKindName(SchemeKind kind);
 
@@ -56,6 +65,9 @@ const char *schemeKindName(SchemeKind kind);
  * The four schemes the paper evaluates, in Figure 8 order. Registry
  * contenders are NOT included; iterate SchemeRegistry::global()
  * names() for the full zoo.
+ *
+ * @deprecated Part of the SchemeKind compatibility shim; iterate
+ *             registry names (or name the four schemes explicitly).
  */
 const std::vector<SchemeKind> &allSchemeKinds();
 
@@ -66,6 +78,9 @@ const std::vector<SchemeKind> &allSchemeKinds();
  * through the scheme registry (canonical names + aliases); the empty
  * optional means the name is unknown *or* names a registry scheme
  * with no legacy SchemeKind.
+ *
+ * @deprecated Part of the SchemeKind compatibility shim; resolve
+ *             names through SchemeRegistry::global().find() instead.
  */
 std::optional<SchemeKind> schemeKindFromName(const std::string &name);
 

@@ -69,7 +69,11 @@ struct ExperimentRequest
     of(std::string benchmark_name, std::string scheme_name,
        ExperimentConfig base = ExperimentConfig{});
 
-    /** Legacy-enum overload of of(). */
+    /**
+     * Legacy-enum overload of of().
+     * @deprecated Pass the registry scheme name instead; the
+     *             shim will be removed with SchemeKind.
+     */
     static ExperimentRequest
     of(std::string benchmark_name, SchemeKind scheme_kind,
        ExperimentConfig base = ExperimentConfig{});
@@ -148,7 +152,11 @@ class SweepSpec
     SweepSpec &withAllBenchmarks();
     /** Set the scheme axis by registry name (aliases accepted). */
     SweepSpec &withSchemes(std::vector<std::string> names);
-    /** Legacy-enum overload of withSchemes(). */
+    /**
+     * Legacy-enum overload of withSchemes().
+     * @deprecated Pass registry scheme names instead; the shim
+     *             will be removed with SchemeKind.
+     */
     SweepSpec &withSchemes(const std::vector<SchemeKind> &kinds);
     /**
      * Every registered scheme: the paper's four in Figure 8 order,

@@ -1,5 +1,7 @@
 #include "sim/sweep_cache.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
@@ -140,6 +142,8 @@ victimaConfigJson(const VictimaConfig &config)
     return object;
 }
 
+} // namespace
+
 JsonValue
 systemConfigJson(const SystemConfig &config)
 {
@@ -187,6 +191,9 @@ engineConfigJson(const EngineConfig &config)
     object.set("prepopulate", config.prepopulate);
     return object;
 }
+
+namespace
+{
 
 /** A best-effort-unique temporary filename component. */
 std::string
@@ -335,6 +342,97 @@ SweepCache::store(const std::string &job_hash,
              ": ", error.message());
         fs::remove(tmp, error);
     }
+}
+
+// ---------------------------------------------------------------
+// Cache eviction
+// ---------------------------------------------------------------
+
+SweepCacheGcStats
+sweepCacheGc(const std::string &dir, std::uint64_t max_bytes,
+             std::uint64_t max_age_seconds)
+{
+    SweepCacheGcStats stats;
+
+    struct Entry
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t bytes = 0;
+    };
+    std::vector<Entry> entries;
+
+    std::error_code error;
+    for (const fs::directory_entry &item :
+         fs::directory_iterator(dir, error)) {
+        if (!item.is_regular_file(error))
+            continue;
+        const std::string name = item.path().filename().string();
+        // Only published entries: skip in-flight ".tmp-*"
+        // temporaries (hidden) and anything that is not an entry
+        // blob. The quarantine/ subdirectory is not iterated at
+        // all (non-recursive walk).
+        if (name.empty() || name.front() == '.' ||
+            item.path().extension() != ".json") {
+            continue;
+        }
+        Entry entry;
+        entry.path = item.path();
+        entry.mtime = fs::last_write_time(item.path(), error);
+        if (error)
+            continue;
+        entry.bytes = item.file_size(error);
+        if (error)
+            continue;
+        entries.push_back(std::move(entry));
+    }
+    stats.scanned = entries.size();
+
+    // Oldest first; name breaks mtime ties so a pass is
+    // deterministic on coarse-granularity filesystems.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path.filename() < b.path.filename();
+              });
+
+    std::uint64_t total = 0;
+    for (const Entry &entry : entries)
+        total += entry.bytes;
+
+    const fs::file_time_type now = fs::file_time_type::clock::now();
+    const auto evict = [&](const Entry &entry) {
+        std::error_code remove_error;
+        if (fs::remove(entry.path, remove_error)) {
+            ++stats.evicted;
+            stats.bytesFreed += entry.bytes;
+            total -= entry.bytes;
+            return true;
+        }
+        warn("cache-gc: cannot remove ", entry.path.string(),
+             ": ", remove_error.message());
+        return false;
+    };
+
+    std::vector<char> gone(entries.size(), 0);
+    if (max_age_seconds > 0) {
+        const auto horizon =
+            now - std::chrono::seconds(max_age_seconds);
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].mtime < horizon && evict(entries[i]))
+                gone[i] = 1;
+        }
+    }
+    if (max_bytes > 0) {
+        for (std::size_t i = 0;
+             i < entries.size() && total > max_bytes; ++i) {
+            if (!gone[i] && evict(entries[i]))
+                gone[i] = 1;
+        }
+    }
+    stats.bytesKept = total;
+    return stats;
 }
 
 // ---------------------------------------------------------------

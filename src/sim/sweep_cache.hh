@@ -69,6 +69,18 @@ inline constexpr const char *kSweepJournalSchemaV1 =
     "pomtlb-sweepjournal-v1";
 
 /**
+ * Canonical identity serialisation of a SystemConfig: every field
+ * that can influence a simulation result, in a fixed key order.
+ * Shared by the sweep-job identity (jobIdentityJson) and the
+ * scenario identity (scenarioIdentityJson in sim/scenario.hh) so
+ * both hash the configuration the same way.
+ */
+JsonValue systemConfigJson(const SystemConfig &config);
+
+/** Canonical identity serialisation of an EngineConfig. */
+JsonValue engineConfigJson(const EngineConfig &config);
+
+/**
  * The canonical JSON identity of one sweep job: cache-schema
  * version, benchmark, canonical scheme name, variant label, the
  * component-stats flag, and the complete configuration (every
@@ -187,6 +199,28 @@ class SweepJournal
     std::ofstream out;
     std::size_t appendCount = 0;
 };
+
+/** Accounting of one sweepCacheGc() pass. */
+struct SweepCacheGcStats
+{
+    std::size_t scanned = 0;     /**< Entries examined. */
+    std::size_t evicted = 0;     /**< Entries removed. */
+    std::uint64_t bytesFreed = 0; /**< Bytes of removed entries. */
+    std::uint64_t bytesKept = 0;  /**< Bytes of surviving entries. */
+};
+
+/**
+ * Evict entries from the sweep cache at @p dir: first every
+ * top-level `*.json` entry older than @p max_age_seconds (0 = no
+ * age limit), then oldest-first — ties broken by name for
+ * determinism — until the survivors total at most @p max_bytes
+ * (0 = no size limit). Only top-level entry files are candidates:
+ * the quarantine subdirectory (post-mortem evidence) and hidden
+ * in-flight temporaries are never touched.
+ */
+SweepCacheGcStats sweepCacheGc(const std::string &dir,
+                               std::uint64_t max_bytes,
+                               std::uint64_t max_age_seconds);
 
 /** Where a job's result came from. */
 enum class JobSource

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/scenario.hh"
 #include "sim/scheme_registry.hh"
 #include "trace/profile.hh"
 
@@ -225,6 +226,125 @@ ServeSession::handleSweep(const JsonValue &request)
 }
 
 void
+ServeSession::handleScenario(const JsonValue &request)
+{
+    if (!request.has("tenants"))
+        throw ServeError("scenario request needs field 'tenants'");
+    std::vector<std::uint64_t> counts;
+    const JsonValue &tenants = request.at("tenants");
+    if (tenants.isArray()) {
+        for (const JsonValue &element : tenants.elements())
+            counts.push_back(element.asUint());
+    } else {
+        counts.push_back(tenants.asUint());
+    }
+    if (counts.empty())
+        throw ServeError("field 'tenants' must not be empty");
+
+    std::string scheme = request.has("scheme")
+                             ? stringField(request, "scheme")
+                             : std::string("POM-TLB");
+    const SchemeRegistry::Info *info =
+        SchemeRegistry::global().find(scheme);
+    if (info == nullptr)
+        throw ServeError("unknown scheme '" + scheme + "'");
+    scheme = info->name;
+
+    std::vector<std::string> benchmarks{"mcf"};
+    if (request.has("tenant_benchmarks"))
+        benchmarks = axisField(request, "tenant_benchmarks",
+                               ProfileRegistry::names());
+    for (const std::string &name : benchmarks) {
+        if (ProfileRegistry::find(name) == nullptr)
+            throw ServeError("unknown benchmark '" + name + "'");
+    }
+
+    const ExperimentConfig config = configFromRequest(request);
+    auto uintField = [&](const char *field,
+                         std::uint64_t fallback) -> std::uint64_t {
+        return request.has(field) ? request.at(field).asUint()
+                                  : fallback;
+    };
+    const std::string base_name =
+        request.has("name") ? stringField(request, "name")
+                            : std::string("consolidation");
+
+    std::vector<ScenarioSpec> specs;
+    for (const std::uint64_t count : counts) {
+        ScenarioSpec spec;
+        spec.name = base_name + "-" + std::to_string(count) + "t";
+        spec.scheme = scheme;
+        spec.system = config.system;
+        spec.engine = config.engine;
+        spec.tenantCount = static_cast<unsigned>(count);
+        spec.tenantBenchmarks = benchmarks;
+        spec.churnIntervalRefs =
+            uintField("churn_interval_refs", 0);
+        spec.residentPerCore = static_cast<unsigned>(
+            uintField("resident_per_core", 4));
+        if (request.has("overcommit_factor")) {
+            spec.overcommitFactor =
+                request.at("overcommit_factor").asNumber();
+        }
+        spec.migrationPagesPerArrival =
+            uintField("migration_pages_per_arrival", 0);
+        spec.storm.intervalRefs =
+            uintField("storm_interval_refs", 0);
+        spec.storm.pagesPerBurst = static_cast<unsigned>(
+            uintField("storm_pages_per_burst", 8));
+        spec.timeSliceRefs = uintField("time_slice_refs", 0);
+        specs.push_back(std::move(spec));
+    }
+
+    ScenarioCampaignOptions options;
+    options.cacheDir = serveOptions.cacheDir;
+    options.jobs = serveOptions.jobs;
+    if (request.has("jobs")) {
+        options.jobs = static_cast<unsigned>(
+            request.at("jobs").asUint());
+    }
+    options.crashAfterAppends = serveOptions.crashAfterAppends;
+
+    std::vector<std::string> hashes;
+    for (const ScenarioSpec &spec : specs)
+        hashes.push_back(scenarioHash(spec));
+    const std::string campaign = sweepHash(hashes);
+    if (!serveOptions.journalDir.empty()) {
+        std::error_code error;
+        std::filesystem::create_directories(serveOptions.journalDir,
+                                            error);
+        options.journalPath =
+            (std::filesystem::path(serveOptions.journalDir) /
+             (campaign + ".jsonl"))
+                .string();
+    }
+
+    const std::size_t total = specs.size();
+    SweepServiceStats stats;
+    runScenarioCampaign(
+        specs, options, &stats,
+        [&](const ScenarioJobReport &report, const JsonValue &run) {
+            JsonValue event = JsonValue::object();
+            event.set("event", "scenario-job");
+            event.set("index", std::uint64_t(report.index));
+            event.set("jobs", std::uint64_t(total));
+            event.set("name", report.name);
+            event.set("scenario_hash", report.hash);
+            event.set("source", jobSourceName(report.source));
+            event.set("wall_seconds", report.wallSeconds);
+            event.set("run", run);
+            emitEvent(std::move(event));
+        });
+    campaignStats = stats;
+
+    JsonValue end = JsonValue::object();
+    end.set("event", "scenario-end");
+    end.set("campaign_hash", campaign);
+    end.set("stats", statsJson());
+    emitEvent(std::move(end));
+}
+
+void
 ServeSession::handleRequest(const JsonValue &request)
 {
     if (!request.isObject())
@@ -250,6 +370,8 @@ ServeSession::handleRequest(const JsonValue &request)
         emitEvent(std::move(event));
     } else if (op == "sweep" || op == "run") {
         handleSweep(request);
+    } else if (op == "scenario") {
+        handleScenario(request);
     } else if (op == "stats") {
         JsonValue event = JsonValue::object();
         event.set("event", "stats");

@@ -59,6 +59,10 @@ struct ServeOptions
  *                config overrides), streaming `job` events and a
  *                final `sweep-end`;
  *  - `run`       single-job sugar for `sweep`;
+ *  - `scenario`  run a consolidation-scenario campaign (tenant
+ *                counts plus churn/overcommit/storm knobs; see
+ *                sim/scenario.hh), streaming `scenario-job` events
+ *                and a final `scenario-end`;
  *  - `stats`     accounting of the most recent campaign;
  *  - `shutdown`  answered with `bye`; the session ends.
  *
@@ -88,6 +92,7 @@ class ServeSession
     JsonValue statsJson() const;
     void handleRequest(const JsonValue &request);
     void handleSweep(const JsonValue &request);
+    void handleScenario(const JsonValue &request);
 
     std::istream &input;
     std::ostream &output;

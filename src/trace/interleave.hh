@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Per-tenant interleaved trace streams for the scenario engine.
+ *
+ * A consolidation scenario time-shares each simulated core between
+ * many tenant vCPU streams. Every stream keeps its own buffered
+ * cursor into its TraceSource — current block, position, consumed
+ * count — so the scenario engine can park a stream mid-block at a
+ * time-slice boundary and resume it later without disturbing the
+ * stream's content. The buffering discipline (block size, capture
+ * cap, replay slices) mirrors sim/engine.cc exactly, which is what
+ * makes a degenerate single-tenant scenario reproduce the classic
+ * engine byte-for-byte.
+ *
+ * A stream's records are captured during pre-population (when every
+ * stream fits the per-stream cap) and replayed by the timed run, or
+ * re-generated through a per-stream scratch block when any stream is
+ * too long — the same two regimes as SimulationEngine.
+ */
+
+#ifndef POMTLB_TRACE_INTERLEAVE_HH
+#define POMTLB_TRACE_INTERLEAVE_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/record.hh"
+#include "trace/source.hh"
+
+namespace pomtlb
+{
+
+/**
+ * One tenant vCPU's trace stream plus its buffered cursor. A stream
+ * is pinned to one home core and one (VM, process) address space;
+ * the scenario compiler decides when the home core runs it.
+ */
+struct TenantStream
+{
+    /** The underlying rewindable record stream. */
+    std::unique_ptr<TraceSource> source;
+    /** Index of the owning tenant in the resolved-tenant list. */
+    unsigned tenant = 0;
+    /** Core this stream executes on. */
+    CoreId homeCore = 0;
+    /** VM the stream's references translate under. */
+    VmId vm = 1;
+    /** Process (ASID) the stream's references translate under. */
+    ProcessId pid = 1;
+    /** Records this stream issues over the whole run (all slices). */
+    std::uint64_t totalRefs = 0;
+
+    // --- cursor state (managed by TenantStreamSet) ---
+    /** Current record block (replay slice or scratch buffer). */
+    const TraceRecord *block = nullptr;
+    /** Next record index within the block. */
+    std::uint64_t blockPos = 0;
+    /** Records valid in the block. */
+    std::uint64_t blockLen = 0;
+    /** Records consumed from the stream this run. */
+    std::uint64_t consumed = 0;
+    /** Scratch block when streaming straight from the source. */
+    std::vector<TraceRecord> scratch;
+    /** Captured records when pre-population captured the stream. */
+    std::vector<TraceRecord> replay;
+};
+
+/**
+ * The set of tenant streams of one scenario: storage, the
+ * capture-or-stream decision, and the block refill discipline —
+ * the multi-tenant twin of SimulationEngine's per-core lanes.
+ */
+class TenantStreamSet
+{
+  public:
+    /** Records fetched per TraceSource::fill() when streaming. */
+    static constexpr std::uint64_t streamBlockRecords = 1024;
+
+    /**
+     * Pre-population captures a stream for replay unless it exceeds
+     * this many records (the cap sim/engine.cc applies per core).
+     */
+    static constexpr std::uint64_t replayCapRecords =
+        std::uint64_t{1} << 22;
+
+    /** Append a stream; returns its stream id (insertion index). */
+    std::size_t add(TenantStream stream);
+
+    /** Number of streams. */
+    std::size_t size() const { return streams.size(); }
+
+    /** Stream @p index (insertion order = global stream id). */
+    TenantStream &at(std::size_t index) { return streams[index]; }
+    /** Stream @p index (read-only). */
+    const TenantStream &at(std::size_t index) const
+    {
+        return streams[index];
+    }
+
+    /**
+     * Whether pre-population may capture: every stream's whole-run
+     * record count fits the per-stream cap.
+     */
+    bool captureEligible() const;
+
+    /** Whether the last beginRun() armed captured-replay mode. */
+    bool replaying() const { return replayMode; }
+
+    /**
+     * Arm every cursor for a timed run: reset positions, and either
+     * point at the captured records (@p captured) or size the
+     * per-stream scratch blocks for streaming.
+     */
+    void beginRun(bool captured);
+
+    /**
+     * Refill @p stream's exhausted block: a zero-copy slice of the
+     * capture (everything not yet consumed — one refill per run), or
+     * one fill() of the scratch block. Fatal if the stream is
+     * exhausted, exactly like SimulationEngine::refill.
+     */
+    void refill(TenantStream &stream);
+
+    /** Drop every capture (frees tens of MB between runs). */
+    void releaseCaptures();
+
+  private:
+    std::vector<TenantStream> streams;
+    bool replayMode = false;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_TRACE_INTERLEAVE_HH

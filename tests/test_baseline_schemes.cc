@@ -25,7 +25,7 @@ twoCoreConfig()
 
 TEST(NestedScheme, AlwaysWalks)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::NestedWalk);
+    Machine machine(twoCoreConfig(), "Baseline");
     auto &scheme = machine.scheme();
     const SchemeResult a =
         scheme.translateMiss(0, 0x1234000, PageSize::Small4K, 1, 1, 0);
@@ -40,7 +40,7 @@ TEST(NestedScheme, AlwaysWalks)
 
 TEST(NestedScheme, StatsTrackWalks)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::NestedWalk);
+    Machine machine(twoCoreConfig(), "Baseline");
     auto *scheme =
         dynamic_cast<NestedWalkScheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
@@ -55,7 +55,7 @@ TEST(NestedScheme, StatsTrackWalks)
 
 TEST(SharedL2, ProvidesSecondLevel)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::SharedL2);
+    Machine machine(twoCoreConfig(), "Shared_L2");
     EXPECT_TRUE(machine.scheme().providesSecondLevel());
     // Cores therefore have no private L2 TLB.
     EXPECT_FALSE(machine.mmu(0).tlbs().hasPrivateL2());
@@ -63,7 +63,7 @@ TEST(SharedL2, ProvidesSecondLevel)
 
 TEST(SharedL2, SharedCapacityScalesWithCores)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::SharedL2);
+    Machine machine(twoCoreConfig(), "Shared_L2");
     auto *scheme =
         dynamic_cast<SharedL2Scheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
@@ -72,7 +72,7 @@ TEST(SharedL2, SharedCapacityScalesWithCores)
 
 TEST(SharedL2, MissWalksThenHits)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::SharedL2);
+    Machine machine(twoCoreConfig(), "Shared_L2");
     auto *scheme =
         dynamic_cast<SharedL2Scheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
@@ -88,7 +88,7 @@ TEST(SharedL2, MissWalksThenHits)
 
 TEST(SharedL2, SharedAcrossCores)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::SharedL2);
+    Machine machine(twoCoreConfig(), "Shared_L2");
     auto *scheme =
         dynamic_cast<SharedL2Scheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
@@ -103,7 +103,7 @@ TEST(SharedL2, SharedAcrossCores)
 TEST(Tsb, TrapCostAlwaysPaid)
 {
     SystemConfig config = twoCoreConfig();
-    Machine machine(config, SchemeKind::Tsb);
+    Machine machine(config, "TSB");
     auto &scheme = machine.scheme();
     const SchemeResult hit_path = scheme.translateMiss(
         0, 0x1234000, PageSize::Small4K, 1, 1, 0);
@@ -112,7 +112,7 @@ TEST(Tsb, TrapCostAlwaysPaid)
 
 TEST(Tsb, MissWalksThenHits)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::Tsb);
+    Machine machine(twoCoreConfig(), "TSB");
     auto *scheme = dynamic_cast<TsbScheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
     const SchemeResult miss = scheme->translateMiss(
@@ -128,7 +128,7 @@ TEST(Tsb, MissWalksThenHits)
 
 TEST(Tsb, DirectMappedConflictEvicts)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::Tsb);
+    Machine machine(twoCoreConfig(), "TSB");
     auto *scheme = dynamic_cast<TsbScheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
     const std::uint64_t stage_entries =
@@ -148,7 +148,7 @@ TEST(Tsb, DirectMappedConflictEvicts)
 
 TEST(Tsb, PrewarmFillsAllStages)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::Tsb);
+    Machine machine(twoCoreConfig(), "TSB");
     auto *scheme = dynamic_cast<TsbScheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
     const Addr vaddr = 0x9999000;
@@ -163,7 +163,7 @@ TEST(Tsb, PrewarmFillsAllStages)
 
 TEST(Tsb, VmShootdown)
 {
-    Machine machine(twoCoreConfig(), SchemeKind::Tsb);
+    Machine machine(twoCoreConfig(), "TSB");
     auto *scheme = dynamic_cast<TsbScheme *>(&machine.scheme());
     ASSERT_NE(scheme, nullptr);
     scheme->translateMiss(0, 0x1234000, PageSize::Small4K, 1, 1, 0);

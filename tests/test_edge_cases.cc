@@ -184,7 +184,7 @@ TEST(EdgeEngine, ZeroWarmup)
     config.engine.refsPerCore = 100;
     config.engine.warmupRefsPerCore = 0;
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::PomTlb, config);
+        ProfileRegistry::byName("gups"), "POM-TLB", config);
     EXPECT_EQ(summary.run.totals().refs, 100u);
 }
 
@@ -195,7 +195,7 @@ TEST(EdgeEngine, SingleReference)
     config.engine.refsPerCore = 1;
     config.engine.warmupRefsPerCore = 0;
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::NestedWalk,
+        ProfileRegistry::byName("mcf"), "Baseline",
         config);
     EXPECT_EQ(summary.run.totals().refs, 1u);
 }

@@ -36,7 +36,7 @@ twoCores()
 
 TEST(Engine, RunProducesPerCoreStats)
 {
-    Machine machine(twoCores(), SchemeKind::PomTlb);
+    Machine machine(twoCores(), "POM-TLB");
     SimulationEngine engine(
         machine, ProfileRegistry::byName("gups"), quickEngine());
     const RunResult result = engine.run();
@@ -52,11 +52,11 @@ TEST(Engine, RunProducesPerCoreStats)
 TEST(Engine, DeterministicAcrossRuns)
 {
     const auto &profile = ProfileRegistry::byName("mcf");
-    Machine machine_a(twoCores(), SchemeKind::PomTlb);
+    Machine machine_a(twoCores(), "POM-TLB");
     SimulationEngine engine_a(machine_a, profile, quickEngine());
     const RunResult a = engine_a.run();
 
-    Machine machine_b(twoCores(), SchemeKind::PomTlb);
+    Machine machine_b(twoCores(), "POM-TLB");
     SimulationEngine engine_b(machine_b, profile, quickEngine());
     const RunResult b = engine_b.run();
 
@@ -73,10 +73,10 @@ TEST(Engine, SeedChangesResults)
     EngineConfig config_b = quickEngine();
     config_b.seed = 777;
 
-    Machine machine_a(twoCores(), SchemeKind::PomTlb);
+    Machine machine_a(twoCores(), "POM-TLB");
     const RunResult a =
         SimulationEngine(machine_a, profile, config_a).run();
-    Machine machine_b(twoCores(), SchemeKind::PomTlb);
+    Machine machine_b(twoCores(), "POM-TLB");
     const RunResult b =
         SimulationEngine(machine_b, profile, config_b).run();
     EXPECT_NE(a.totals().translationCycles,
@@ -90,10 +90,10 @@ TEST(Engine, PrepopulationEliminatesColdWalks)
     EngineConfig without = quickEngine();
     without.prepopulate = false;
 
-    Machine machine_a(twoCores(), SchemeKind::PomTlb);
+    Machine machine_a(twoCores(), "POM-TLB");
     const RunResult pre =
         SimulationEngine(machine_a, profile, with).run();
-    Machine machine_b(twoCores(), SchemeKind::PomTlb);
+    Machine machine_b(twoCores(), "POM-TLB");
     const RunResult cold =
         SimulationEngine(machine_b, profile, without).run();
 
@@ -104,7 +104,7 @@ TEST(Engine, PrepopulationEliminatesColdWalks)
 TEST(Engine, WarmupStatsAreDiscarded)
 {
     const auto &profile = ProfileRegistry::byName("gups");
-    Machine machine(twoCores(), SchemeKind::PomTlb);
+    Machine machine(twoCores(), "POM-TLB");
     SimulationEngine engine(machine, profile, quickEngine());
     const RunResult result = engine.run();
     // Only measured-phase references are counted in the MMU stats.
@@ -119,7 +119,7 @@ TEST(Engine, MultiVmPlacement)
     const auto &profile = ProfileRegistry::byName("gups");
     EngineConfig config = quickEngine();
     config.coreVm = {1, 2};
-    Machine machine(twoCores(), SchemeKind::PomTlb);
+    Machine machine(twoCores(), "POM-TLB");
     SimulationEngine engine(machine, profile, config);
     EXPECT_NO_THROW(engine.run());
     // Both VMs really exist in the memory map.
@@ -129,7 +129,7 @@ TEST(Engine, MultiVmPlacement)
 TEST(Engine, BaselineWalksEveryMiss)
 {
     const auto &profile = ProfileRegistry::byName("gups");
-    Machine machine(twoCores(), SchemeKind::NestedWalk);
+    Machine machine(twoCores(), "Baseline");
     SimulationEngine engine(machine, profile, quickEngine());
     const RunResult result = engine.run();
     EXPECT_GT(result.totals().lastLevelMisses, 0u);
@@ -152,7 +152,7 @@ TEST(Engine, FileSourcesDriveTheMachine)
     EngineConfig config = quickEngine();
     config.refsPerCore = 2000;
     config.warmupRefsPerCore = 1000;
-    Machine machine(twoCores(), SchemeKind::PomTlb);
+    Machine machine(twoCores(), "POM-TLB");
     std::vector<std::unique_ptr<TraceSource>> sources;
     sources.push_back(std::make_unique<FileSource>(path));
     sources.push_back(std::make_unique<FileSource>(path));
@@ -187,10 +187,10 @@ TEST(Engine, PomReducesPenaltyVersusBaseline)
     config.refsPerCore = 8000;
     config.warmupRefsPerCore = 4000;
 
-    Machine base(twoCores(), SchemeKind::NestedWalk);
+    Machine base(twoCores(), "Baseline");
     const RunResult base_result =
         SimulationEngine(base, profile, config).run();
-    Machine pom(twoCores(), SchemeKind::PomTlb);
+    Machine pom(twoCores(), "POM-TLB");
     const RunResult pom_result =
         SimulationEngine(pom, profile, config).run();
 

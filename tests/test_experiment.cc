@@ -27,7 +27,7 @@ quickConfig()
 TEST(Experiment, RunSchemeSummarises)
 {
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::PomTlb,
+        ProfileRegistry::byName("gups"), "POM-TLB",
         quickConfig());
     EXPECT_EQ(summary.benchmark, "gups");
     EXPECT_EQ(summary.scheme, "POM-TLB");
@@ -41,7 +41,7 @@ TEST(Experiment, RunSchemeSummarises)
 TEST(Experiment, BaselineSummaryHasNoPomStats)
 {
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        ProfileRegistry::byName("gups"), "Baseline",
         quickConfig());
     EXPECT_DOUBLE_EQ(summary.pomL2CacheServiceRate, 0.0);
     EXPECT_DOUBLE_EQ(summary.sizePredictorAccuracy, 0.0);
@@ -60,15 +60,16 @@ TEST(Experiment, CompareSchemesProducesImprovements)
     ASSERT_EQ(comparison.runs.size(), names.size());
     for (std::size_t i = 0; i < comparison.runs.size(); ++i)
         EXPECT_EQ(comparison.runs[i].first, names[i]);
-    for (std::size_t i = 0; i < allSchemeKinds().size(); ++i)
-        EXPECT_EQ(comparison.runs[i].first,
-                  schemeKindName(allSchemeKinds()[i]));
+    const std::vector<std::string> paper = {"Baseline", "POM-TLB",
+                                            "Shared_L2", "TSB"};
+    for (std::size_t i = 0; i < paper.size(); ++i)
+        EXPECT_EQ(comparison.runs[i].first, paper[i]);
     const SchemeDelta &baseline =
-        comparison.delta(SchemeKind::NestedWalk);
+        comparison.delta("Baseline");
     EXPECT_DOUBLE_EQ(baseline.costRatio, 1.0);
     EXPECT_DOUBLE_EQ(baseline.improvementPct, 0.0);
 
-    const SchemeDelta &pom = comparison.delta(SchemeKind::PomTlb);
+    const SchemeDelta &pom = comparison.delta("POM-TLB");
     EXPECT_GT(pom.costRatio, 0.0);
     EXPECT_LT(pom.costRatio, 1.0);
     // POM-TLB improves over the baseline on gups.
@@ -76,7 +77,7 @@ TEST(Experiment, CompareSchemesProducesImprovements)
     // And beats the TSB by a wide margin (the paper's "order of
     // difference" observation for gups).
     EXPECT_GT(pom.improvementPct,
-              comparison.delta(SchemeKind::Tsb).improvementPct + 1.0);
+              comparison.delta("TSB").improvementPct + 1.0);
 }
 
 TEST(Experiment, PomImprovementOnlyMatchesComparison)
@@ -87,7 +88,7 @@ TEST(Experiment, PomImprovementOnlyMatchesComparison)
     const double only = pomImprovementOnly(
         ProfileRegistry::byName("gups"), config);
     EXPECT_NEAR(only,
-                comparison.delta(SchemeKind::PomTlb).improvementPct,
+                comparison.delta("POM-TLB").improvementPct,
                 1e-9);
 }
 
@@ -125,7 +126,7 @@ TEST(Experiment, NativeModeRuns)
     ExperimentConfig config = quickConfig();
     config.system.mode = ExecMode::Native;
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        ProfileRegistry::byName("gups"), "Baseline",
         config);
     EXPECT_EQ(summary.mode, ExecMode::Native);
     EXPECT_GT(summary.avgPenaltyPerMiss, 0.0);
@@ -138,10 +139,10 @@ TEST(Experiment, VirtualizedWalksCostMoreThanNative)
     ExperimentConfig virt_config = quickConfig();
 
     const SchemeRunSummary native = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        ProfileRegistry::byName("gups"), "Baseline",
         native_config);
     const SchemeRunSummary virt = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::NestedWalk,
+        ProfileRegistry::byName("gups"), "Baseline",
         virt_config);
     // Figure 3's message: virtualized translation costs more.
     EXPECT_GT(virt.avgPenaltyPerMiss, native.avgPenaltyPerMiss);

@@ -87,7 +87,7 @@ TEST(TlbAwareCaching, MachineWiringAppliesPolicy)
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
     config.tlbAwareCaching = true;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     EXPECT_EQ(machine.hierarchy().l2d(0).tlbLinePolicy(),
               TlbLinePolicy::RetainTlb);
     EXPECT_EQ(machine.hierarchy().l3d().tlbLinePolicy(),
@@ -106,9 +106,9 @@ TEST(TlbAwareCaching, ImprovesTlbLineResidency)
     aware.system.tlbAwareCaching = true;
 
     const SchemeRunSummary base = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, plain);
+        ProfileRegistry::byName("mcf"), "POM-TLB", plain);
     const SchemeRunSummary retained = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, aware);
+        ProfileRegistry::byName("mcf"), "POM-TLB", aware);
     // Retaining TLB lines must not make translation slower.
     EXPECT_LE(retained.avgPenaltyPerMiss,
               base.avgPenaltyPerMiss * 1.05);
@@ -162,7 +162,7 @@ TEST(UnifiedPom, EndToEndRunWorks)
     config.engine.refsPerCore = 5000;
     config.engine.warmupRefsPerCore = 2500;
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, config);
+        ProfileRegistry::byName("mcf"), "POM-TLB", config);
     EXPECT_LT(summary.walkFraction, 0.02);
 }
 
@@ -175,7 +175,7 @@ TEST(Prefetch, AdjacentSetLineLandsInCaches)
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
     config.pomTlb.prefetchNextSet = true;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
 
     const Addr vaddr = 0x12345000;
     machine.scheme().translateMiss(0, vaddr, PageSize::Small4K, 1, 1,
@@ -197,9 +197,9 @@ TEST(Prefetch, HelpsSequentialMissStreams)
     // lbm's sweep misses walk pages in order: the prefetch turns its
     // POM DRAM trips into cache hits.
     const SchemeRunSummary without = runScheme(
-        ProfileRegistry::byName("lbm"), SchemeKind::PomTlb, off);
+        ProfileRegistry::byName("lbm"), "POM-TLB", off);
     const SchemeRunSummary with = runScheme(
-        ProfileRegistry::byName("lbm"), SchemeKind::PomTlb, on);
+        ProfileRegistry::byName("lbm"), "POM-TLB", on);
     EXPECT_LT(with.avgPenaltyPerMiss, without.avgPenaltyPerMiss);
 }
 
@@ -233,7 +233,7 @@ TEST(L4DramCache, MachineWiring)
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
     config.dieStackedL4Cache = true;
-    Machine machine(config, SchemeKind::NestedWalk);
+    Machine machine(config, "Baseline");
     ASSERT_NE(machine.hierarchy().l4Cache(), nullptr);
 
     // 32 lines that all collide in one 16-way L3 set (stride = L3
@@ -255,7 +255,7 @@ TEST(L4DramCache, AbsentWithoutFlag)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::NestedWalk);
+    Machine machine(config, "Baseline");
     EXPECT_EQ(machine.hierarchy().l4Cache(), nullptr);
 }
 
@@ -270,10 +270,10 @@ TEST(L4DramCache, ReducesBaselineCycles)
     on.system.dieStackedL4Cache = true;
 
     const SchemeRunSummary without = runScheme(
-        ProfileRegistry::byName("canneal"), SchemeKind::NestedWalk,
+        ProfileRegistry::byName("canneal"), "Baseline",
         off);
     const SchemeRunSummary with = runScheme(
-        ProfileRegistry::byName("canneal"), SchemeKind::NestedWalk,
+        ProfileRegistry::byName("canneal"), "Baseline",
         on);
     double cycles_without = 0.0;
     double cycles_with = 0.0;
@@ -292,7 +292,7 @@ TEST(Shootdown, PageShootdownClearsEveryStructure)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 2;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     const Addr vaddr = 0x77777000;
     machine.mmu(0).translate(vaddr, PageSize::Small4K, 1, 1, 0);
     machine.mmu(1).translate(vaddr, PageSize::Small4K, 1, 1, 100);
@@ -314,7 +314,7 @@ TEST(Shootdown, InjectionCountsAndCharges)
     config.engine.warmupRefsPerCore = 5000;
     config.engine.shootdownIntervalRefs = 1000;
 
-    Machine machine(config.system, SchemeKind::PomTlb);
+    Machine machine(config.system, "POM-TLB");
     SimulationEngine engine(
         machine, ProfileRegistry::byName("mcf"), config.engine);
     const RunResult result = engine.run();
@@ -337,9 +337,9 @@ TEST(Shootdown, RareShootdownsBarelyAffectPom)
     noisy.engine.shootdownIntervalRefs = 10000; // rare
 
     const SchemeRunSummary base = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, quiet);
+        ProfileRegistry::byName("mcf"), "POM-TLB", quiet);
     const SchemeRunSummary shot = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, noisy);
+        ProfileRegistry::byName("mcf"), "POM-TLB", noisy);
     EXPECT_LT(shot.avgPenaltyPerMiss,
               base.avgPenaltyPerMiss * 1.15);
 }

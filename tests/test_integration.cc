@@ -35,10 +35,9 @@ TEST(Integration, AllSchemesTranslateIdentically)
     const Addr vaddr = 0x123456789;
 
     std::vector<HostPhysAddr> results;
-    for (SchemeKind kind :
-         {SchemeKind::NestedWalk, SchemeKind::PomTlb,
-          SchemeKind::SharedL2, SchemeKind::Tsb}) {
-        Machine machine(config, kind);
+    for (const std::string scheme :
+         {"Baseline", "POM-TLB", "Shared_L2", "TSB"}) {
+        Machine machine(config, scheme);
         const MmuResult result = machine.mmu(0).translate(
             vaddr, PageSize::Small4K, 1, 1, 0);
         results.push_back(result.hpa);
@@ -51,7 +50,7 @@ TEST(Integration, RepeatedTranslationIsStable)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     const Addr vaddr = 0xabc123456;
     const MmuResult first = machine.mmu(0).translate(
         vaddr, PageSize::Small4K, 1, 1, 0);
@@ -67,7 +66,7 @@ TEST(Integration, PomTlbEliminatesNearlyAllWalks)
     // Section 4.6 / conclusion: "99% of the page walks can be
     // eliminated by a very large TLB of size 16 MB".
     const SchemeRunSummary pom = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb,
+        ProfileRegistry::byName("mcf"), "POM-TLB",
         integrationConfig());
     EXPECT_LT(pom.walkFraction, 0.01);
 }
@@ -79,8 +78,8 @@ TEST(Integration, Figure8OrderingOnMcf)
     // POM-TLB beats both prior schemes on the paper's strongest
     // benchmark.
     const double pom =
-        comparison.delta(SchemeKind::PomTlb).improvementPct;
-    EXPECT_GT(pom, comparison.delta(SchemeKind::Tsb).improvementPct);
+        comparison.delta("POM-TLB").improvementPct;
+    EXPECT_GT(pom, comparison.delta("TSB").improvementPct);
     EXPECT_GT(pom, 2.0);
 }
 
@@ -93,9 +92,9 @@ TEST(Integration, CachedEntriesAreWhatMakePomFast)
     uncached.system.pomTlb.cacheable = false;
 
     const SchemeRunSummary with_cache = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb, cached);
+        ProfileRegistry::byName("mcf"), "POM-TLB", cached);
     const SchemeRunSummary without_cache = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb,
+        ProfileRegistry::byName("mcf"), "POM-TLB",
         uncached);
     EXPECT_LT(with_cache.avgPenaltyPerMiss,
               without_cache.avgPenaltyPerMiss);
@@ -109,7 +108,7 @@ TEST(Integration, DataCachesStillServeData)
     // Caching TLB entries must not wreck the data path: the L3 data
     // hit rate stays meaningful under the POM scheme.
     const SchemeRunSummary pom = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb,
+        ProfileRegistry::byName("mcf"), "POM-TLB",
         integrationConfig());
     EXPECT_GT(pom.l3DataHitRate, 0.0);
 }
@@ -120,7 +119,7 @@ TEST(Integration, MultiVmConsolidationKeepsHitRates)
     ExperimentConfig config = integrationConfig();
     config.engine.coreVm = {1, 2};
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("canneal"), SchemeKind::PomTlb,
+        ProfileRegistry::byName("canneal"), "POM-TLB",
         config);
     EXPECT_LT(summary.walkFraction, 0.02);
 }
@@ -128,7 +127,7 @@ TEST(Integration, MultiVmConsolidationKeepsHitRates)
 TEST(Integration, SizePredictorAccurateEndToEnd)
 {
     const SchemeRunSummary pom = runScheme(
-        ProfileRegistry::byName("mcf"), SchemeKind::PomTlb,
+        ProfileRegistry::byName("mcf"), "POM-TLB",
         integrationConfig());
     // Section 4.3: ~95% average; individual benchmarks vary.
     EXPECT_GT(pom.sizePredictorAccuracy, 0.8);
@@ -151,7 +150,7 @@ TEST(Integration, StatDumpCoversMachine)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     machine.mmu(0).translate(0x1234000, PageSize::Small4K, 1, 1, 0);
 
     std::vector<std::pair<std::string, double>> stats;

@@ -15,36 +15,27 @@ namespace pomtlb
 namespace
 {
 
-TEST(Machine, BuildsAllSchemeKinds)
+TEST(Machine, BuildsAllPaperSchemes)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 2;
-    for (SchemeKind kind :
-         {SchemeKind::NestedWalk, SchemeKind::PomTlb,
-          SchemeKind::SharedL2, SchemeKind::Tsb}) {
-        Machine machine(config, kind);
-        EXPECT_EQ(machine.schemeKind(), kind);
+    for (const std::string scheme :
+         {"Baseline", "POM-TLB", "Shared_L2", "TSB"}) {
+        Machine machine(config, scheme);
+        EXPECT_EQ(machine.schemeName(), scheme);
         EXPECT_EQ(machine.numCores(), 2u);
     }
-}
-
-TEST(Machine, SchemeNames)
-{
-    EXPECT_STREQ(schemeKindName(SchemeKind::NestedWalk), "Baseline");
-    EXPECT_STREQ(schemeKindName(SchemeKind::PomTlb), "POM-TLB");
-    EXPECT_STREQ(schemeKindName(SchemeKind::SharedL2), "Shared_L2");
-    EXPECT_STREQ(schemeKindName(SchemeKind::Tsb), "TSB");
 }
 
 TEST(Machine, PomDeviceOnlyForPomScheme)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine pom(config, SchemeKind::PomTlb);
+    Machine pom(config, "POM-TLB");
     EXPECT_NE(pom.pomTlbDevice(), nullptr);
     EXPECT_NE(pom.pomTlbScheme(), nullptr);
 
-    Machine baseline(config, SchemeKind::NestedWalk);
+    Machine baseline(config, "Baseline");
     EXPECT_EQ(baseline.pomTlbDevice(), nullptr);
     EXPECT_EQ(baseline.pomTlbScheme(), nullptr);
 }
@@ -53,7 +44,7 @@ TEST(Machine, CoreCountScalesComponents)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 4;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     for (CoreId core = 0; core < 4; ++core) {
         EXPECT_NO_THROW(machine.mmu(core));
         EXPECT_NO_THROW(machine.walker(core));
@@ -65,11 +56,11 @@ TEST(Machine, PrivateL2PresentExceptSharedL2)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine pom(config, SchemeKind::PomTlb);
+    Machine pom(config, "POM-TLB");
     EXPECT_TRUE(pom.mmu(0).tlbs().hasPrivateL2());
-    Machine shared(config, SchemeKind::SharedL2);
+    Machine shared(config, "Shared_L2");
     EXPECT_FALSE(shared.mmu(0).tlbs().hasPrivateL2());
-    Machine tsb(config, SchemeKind::Tsb);
+    Machine tsb(config, "TSB");
     EXPECT_TRUE(tsb.mmu(0).tlbs().hasPrivateL2());
 }
 
@@ -77,7 +68,7 @@ TEST(Machine, ShootdownVmClearsEverything)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     machine.mmu(0).translate(0x1234000, PageSize::Small4K, 1, 1, 0);
     machine.shootdownVm(1);
     const MmuResult after = machine.mmu(0).translate(
@@ -90,7 +81,7 @@ TEST(Machine, ResetStatsPreservesState)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     machine.mmu(0).translate(0x1234000, PageSize::Small4K, 1, 1, 0);
     machine.resetStats();
     EXPECT_EQ(machine.mmu(0).translationCount(), 0u);
@@ -104,7 +95,7 @@ TEST(Machine, DramChannelsAreSeparate)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     // Main-memory traffic does not touch the die-stacked channel.
     machine.hierarchy().accessData(0, 0x5000, AccessType::Read, 0);
     EXPECT_GT(machine.mainMemory().accessCount(), 0u);
@@ -116,7 +107,7 @@ TEST(Machine, NativeModeMachine)
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
     config.mode = ExecMode::Native;
-    Machine machine(config, SchemeKind::NestedWalk);
+    Machine machine(config, "Baseline");
     const MmuResult result = machine.mmu(0).translate(
         0x1234000, PageSize::Small4K, 1, 1, 0);
     EXPECT_TRUE(result.walked);
@@ -127,7 +118,7 @@ TEST(Machine, DumpStatsProducesOutput)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     machine.mmu(0).translate(0x1234000, PageSize::Small4K, 1, 1, 0);
     std::ostringstream oss;
     machine.dumpStats(oss);

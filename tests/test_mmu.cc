@@ -21,7 +21,7 @@ class MmuTest : public ::testing::Test
         SystemConfig config = SystemConfig::table1();
         config.numCores = 1;
         machine =
-            std::make_unique<Machine>(config, SchemeKind::PomTlb);
+            std::make_unique<Machine>(config, "POM-TLB");
     }
 
     std::unique_ptr<Machine> machine;

@@ -36,9 +36,9 @@ TEST(PipelineSmoke, QuickstartFlow)
     const ExperimentConfig config = smokeConfig();
     const BenchmarkProfile &profile = ProfileRegistry::byName("mcf");
     const SchemeRunSummary baseline =
-        runScheme(profile, SchemeKind::NestedWalk, config);
+        runScheme(profile, "Baseline", config);
     const SchemeRunSummary pom =
-        runScheme(profile, SchemeKind::PomTlb, config);
+        runScheme(profile, "POM-TLB", config);
     const double ratio =
         static_cast<double>(pom.translationCycles) /
         static_cast<double>(baseline.translationCycles);
@@ -57,10 +57,10 @@ TEST(PipelineSmoke, CapacityExplorerFlow)
         ProfileRegistry::byName("gups");
     config.system.pomTlb.capacityBytes = 2 << 20;
     const SchemeRunSummary small =
-        runScheme(profile, SchemeKind::PomTlb, config);
+        runScheme(profile, "POM-TLB", config);
     config.system.pomTlb.capacityBytes = 32 << 20;
     const SchemeRunSummary big =
-        runScheme(profile, SchemeKind::PomTlb, config);
+        runScheme(profile, "POM-TLB", config);
     EXPECT_LE(big.walkFraction, small.walkFraction + 1e-9);
 }
 
@@ -70,7 +70,7 @@ TEST(PipelineSmoke, MixedTenantsFlow)
     // per-core sources in different VMs on one machine.
     ExperimentConfig config = smokeConfig();
     config.engine.coreVm = {1, 2};
-    Machine machine(config.system, SchemeKind::PomTlb);
+    Machine machine(config.system, "POM-TLB");
     std::vector<std::unique_ptr<TraceSource>> sources;
     sources.push_back(std::make_unique<GeneratorSource>(
         ProfileRegistry::byName("mcf"), 0, 42));
@@ -96,7 +96,7 @@ TEST(PipelineSmoke, RecordReplayFlow)
         recordTrace(generator, path, 12000);
     }
     ExperimentConfig config = smokeConfig();
-    Machine machine(config.system, SchemeKind::PomTlb);
+    Machine machine(config.system, "POM-TLB");
     std::vector<std::unique_ptr<TraceSource>> sources;
     sources.push_back(std::make_unique<FileSource>(path));
     sources.push_back(std::make_unique<FileSource>(path));
@@ -115,12 +115,12 @@ TEST(PipelineSmoke, CompareFlowOrdering)
     const BenchmarkComparison comparison = compareSchemes(
         ProfileRegistry::byName("canneal"), smokeConfig());
     EXPECT_DOUBLE_EQ(
-        comparison.delta(SchemeKind::NestedWalk).costRatio, 1.0);
-    const SchemeDelta &pom = comparison.delta(SchemeKind::PomTlb);
+        comparison.delta("Baseline").costRatio, 1.0);
+    const SchemeDelta &pom = comparison.delta("POM-TLB");
     EXPECT_GT(pom.costRatio, 0.0);
     EXPECT_LT(pom.costRatio, 1.5);
-    EXPECT_GT(comparison.delta(SchemeKind::SharedL2).costRatio, 0.0);
-    EXPECT_GT(comparison.delta(SchemeKind::Tsb).costRatio, 0.0);
+    EXPECT_GT(comparison.delta("Shared_L2").costRatio, 0.0);
+    EXPECT_GT(comparison.delta("TSB").costRatio, 0.0);
 }
 
 } // namespace

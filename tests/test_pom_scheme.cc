@@ -26,7 +26,7 @@ class PomSchemeTest : public ::testing::Test
         config.pomTlb.cacheable = cacheable;
         config.pomTlb.bypassPredictor = bypass;
         machine = std::make_unique<Machine>(config,
-                                            SchemeKind::PomTlb);
+                                            "POM-TLB");
         scheme = machine->pomTlbScheme();
         ASSERT_NE(scheme, nullptr);
     }

@@ -142,7 +142,7 @@ TEST_P(BenchmarkSweepTest, PomWalkFractionTiny)
     config.engine.refsPerCore = 3000;
     config.engine.warmupRefsPerCore = 1500;
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName(GetParam()), SchemeKind::PomTlb,
+        ProfileRegistry::byName(GetParam()), "POM-TLB",
         config);
     EXPECT_LT(summary.walkFraction, 0.05) << GetParam();
 }
@@ -153,17 +153,16 @@ TEST_P(BenchmarkSweepTest, SchemePenaltiesArePositiveAndBounded)
     config.system.numCores = 2;
     config.engine.refsPerCore = 3000;
     config.engine.warmupRefsPerCore = 1500;
-    for (SchemeKind kind :
-         {SchemeKind::NestedWalk, SchemeKind::PomTlb,
-          SchemeKind::SharedL2, SchemeKind::Tsb}) {
+    for (const std::string scheme :
+         {"Baseline", "POM-TLB", "Shared_L2", "TSB"}) {
         const SchemeRunSummary summary = runScheme(
-            ProfileRegistry::byName(GetParam()), kind, config);
+            ProfileRegistry::byName(GetParam()), scheme, config);
         if (summary.run.totals().lastLevelMisses == 0)
             continue; // nothing to measure for this workload
         EXPECT_GT(summary.avgPenaltyPerMiss, 0.0)
-            << GetParam() << "/" << schemeKindName(kind);
+            << GetParam() << "/" << scheme;
         EXPECT_LT(summary.avgPenaltyPerMiss, 5000.0)
-            << GetParam() << "/" << schemeKindName(kind);
+            << GetParam() << "/" << scheme;
     }
 }
 
@@ -189,7 +188,7 @@ TEST_P(CoreCountTest, MachineRunsAtAnyCoreCount)
     config.engine.refsPerCore = 2000;
     config.engine.warmupRefsPerCore = 1000;
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::PomTlb, config);
+        ProfileRegistry::byName("gups"), "POM-TLB", config);
     EXPECT_EQ(summary.run.cores.size(), GetParam());
     EXPECT_LT(summary.walkFraction, 0.05);
 }
@@ -214,7 +213,7 @@ TEST_P(CapacityTest, WalkEliminationHolds)
     config.engine.refsPerCore = 3000;
     config.engine.warmupRefsPerCore = 1500;
     const SchemeRunSummary summary = runScheme(
-        ProfileRegistry::byName("gups"), SchemeKind::PomTlb, config);
+        ProfileRegistry::byName("gups"), "POM-TLB", config);
     EXPECT_LT(summary.walkFraction, 0.10);
 }
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Enforces the SchemeKind deprecation: the legacy enum and its
+ * overloads are a compatibility shim for out-of-tree callers only,
+ * so no in-tree source outside the shim itself (and its dedicated
+ * tests) may mention SchemeKind. New code selects schemes by
+ * registry name (sim/scheme_registry.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pomtlb
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/**
+ * The only files allowed to mention SchemeKind, relative to the
+ * repository root: the shim's definition, the overloads kept for
+ * compatibility, the scheme registrations that declare their legacy
+ * kind, the shim's own tests, and this enforcement test.
+ */
+const std::set<std::string> kShimAllowlist = {
+    "src/baseline/nested_scheme.cc",
+    "src/baseline/shared_l2_scheme.cc",
+    "src/baseline/tsb_scheme.cc",
+    "src/pomtlb/scheme.cc",
+    "src/sim/experiment.cc",
+    "src/sim/experiment.hh",
+    "src/sim/machine.cc",
+    "src/sim/machine.hh",
+    "src/sim/scheme.hh",
+    "src/sim/scheme_registry.cc",
+    "src/sim/scheme_registry.hh",
+    "src/sim/sweep.cc",
+    "src/sim/sweep.hh",
+    "tests/test_scheme_api_migration.cc",
+    "tests/test_scheme_registry.cc",
+};
+
+bool
+isSourceFile(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+TEST(SchemeApiMigration, NoInTreeUseOfSchemeKindOutsideTheShim)
+{
+    const fs::path root{POMTLB_SOURCE_DIR};
+    std::vector<std::string> offenders;
+    for (const char *top :
+         {"src", "tests", "bench", "examples", "tools"}) {
+        const fs::path dir = root / top;
+        ASSERT_TRUE(fs::is_directory(dir)) << dir;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file() ||
+                !isSourceFile(entry.path()))
+                continue;
+            const std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            if (kShimAllowlist.count(rel))
+                continue;
+            std::ifstream in(entry.path());
+            ASSERT_TRUE(in) << rel;
+            std::ostringstream text;
+            text << in.rdbuf();
+            if (text.str().find("SchemeKind") != std::string::npos)
+                offenders.push_back(rel);
+        }
+    }
+    EXPECT_TRUE(offenders.empty())
+        << "SchemeKind is a deprecated compatibility shim; migrate "
+           "these files to registry scheme names "
+           "(sim/scheme_registry.hh):\n  " +
+               [&] {
+                   std::string joined;
+                   for (const std::string &path : offenders)
+                       joined += path + "\n  ";
+                   return joined;
+               }();
+}
+
+TEST(SchemeApiMigration, ShimFilesStillExistWhileDeprecated)
+{
+    // When the shim is finally deleted, this test (and the
+    // allowlist) should be deleted with it; until then the allowlist
+    // must not go stale by naming files that moved.
+    const fs::path root{POMTLB_SOURCE_DIR};
+    for (const std::string &rel : kShimAllowlist)
+        EXPECT_TRUE(fs::is_regular_file(root / rel)) << rel;
+}
+
+} // namespace
+} // namespace pomtlb

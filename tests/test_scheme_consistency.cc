@@ -120,7 +120,7 @@ TEST_P(SchemeConsistencyTest, ShootdownNeverChangesTranslation)
     Rng rng(GetParam());
     SystemConfig config = SystemConfig::table1();
     config.numCores = 1;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
 
     for (int i = 0; i < 200; ++i) {
         const Addr vaddr =

@@ -101,6 +101,25 @@ TEST(SchemeRegistry, LegacySchemeKindShimsResolveThroughRegistry)
     EXPECT_FALSE(schemeKindFromName("Victima").has_value());
 }
 
+TEST(SchemeRegistry, LegacyMachineCtorStillBuildsEveryKind)
+{
+    // The deprecated Machine(SystemConfig, SchemeKind) overload and
+    // the schemeKind() accessor must keep working until the shim is
+    // removed; they resolve through the same registry entries as
+    // the canonical string names.
+    const SystemConfig config = smallConfig();
+    for (const SchemeKind kind : allSchemeKinds()) {
+        Machine machine(config, kind);
+        ASSERT_TRUE(machine.schemeKind().has_value());
+        EXPECT_EQ(*machine.schemeKind(), kind);
+        EXPECT_EQ(machine.schemeName(), schemeKindName(kind));
+    }
+    EXPECT_STREQ(schemeKindName(SchemeKind::NestedWalk), "Baseline");
+    EXPECT_STREQ(schemeKindName(SchemeKind::PomTlb), "POM-TLB");
+    EXPECT_STREQ(schemeKindName(SchemeKind::SharedL2), "Shared_L2");
+    EXPECT_STREQ(schemeKindName(SchemeKind::Tsb), "TSB");
+}
+
 TEST(SchemeRegistry, RejectsDuplicateAndMalformedRegistrations)
 {
     const SchemeRegistry::Factory factory =

@@ -21,6 +21,7 @@
 #include "common/json.hh"
 #include "sim/engine.hh"
 #include "sim/machine.hh"
+#include "sim/scenario.hh"
 #include "sim/scheme_registry.hh"
 #include "sim/stats_export.hh"
 #include "trace/profile.hh"
@@ -238,6 +239,66 @@ TEST(StatsExport, MetricsDocCoversEveryStat)
             } else {
                 part += c;
             }
+        }
+    }
+}
+
+/**
+ * The same 100%-documented contract for the scenario engine's
+ * per-tenant registry: every `tenants.<name>.<stat>` it emits must
+ * appear in the docs/metrics.md per-tenant table. The tenant-name
+ * segment itself is user-chosen and exempt.
+ */
+TEST(StatsExport, MetricsDocCoversEveryScenarioTenantStat)
+{
+    ScenarioSpec spec;
+    spec.name = "doc-coverage";
+    spec.system.numCores = 2;
+    spec.engine.refsPerCore = 2000;
+    spec.engine.warmupRefsPerCore = 1000;
+    spec.tenantCount = 4;
+    spec.tenantBenchmarks = {"mcf", "gups"};
+    spec.migrationPagesPerArrival = 2;
+    spec.storm = {800, 4};
+
+    Machine machine(spec.system, spec.scheme);
+    ScenarioEngine engine(machine, spec);
+    (void)engine.run();
+
+    std::vector<std::pair<std::string, double>> flat;
+    engine.registry().collect(flat);
+    ASSERT_GT(flat.size(), 4u * 10u);
+
+    const std::set<std::string> tokens = documentedTokens();
+    for (const auto &stat : flat) {
+        std::string name = stat.first;
+        for (const char *suffix : {".samples", ".mean", ".max"}) {
+            const std::size_t at = name.rfind(suffix);
+            if (at != std::string::npos &&
+                at + std::strlen(suffix) == name.size() &&
+                name.find("histogram") != std::string::npos) {
+                name.resize(at);
+            }
+        }
+        std::vector<std::string> parts;
+        std::string part;
+        for (const char c : name + ".") {
+            if (c == '.') {
+                parts.push_back(part);
+                part.clear();
+            } else {
+                part += c;
+            }
+        }
+        ASSERT_GE(parts.size(), 3u) << name;
+        EXPECT_EQ(parts[0], "tenants") << name;
+        // parts[1] is the tenant's own name; everything after it
+        // must be documented.
+        for (std::size_t i = 2; i < parts.size(); ++i) {
+            EXPECT_TRUE(tokens.count(parts[i]))
+                << "scenario stat '" << name << "': segment '"
+                << parts[i]
+                << "' is not documented in docs/metrics.md";
         }
     }
 }

@@ -37,7 +37,7 @@ tinySpec()
     return SweepSpec()
         .withBase(tinyConfig())
         .withBenchmarks({"gups", "mcf"})
-        .withSchemes({SchemeKind::NestedWalk, SchemeKind::PomTlb})
+        .withSchemes(std::vector<std::string>{"Baseline", "POM-TLB"})
         .withVariant("16MB",
                      [](ExperimentConfig &c) {
                          c.system.pomTlb.capacityBytes = 16u << 20;
@@ -92,7 +92,7 @@ expectIdentical(const SchemeRunSummary &a, const SchemeRunSummary &b)
 TEST(Sweep, RequestBuilderAppliesOverrides)
 {
     const ExperimentRequest request =
-        ExperimentRequest::of("mcf", SchemeKind::PomTlb, tinyConfig())
+        ExperimentRequest::of("mcf", "POM-TLB", tinyConfig())
             .withCores(4)
             .withMode(ExecMode::Native)
             .withRefs(1234, 567)
@@ -199,13 +199,13 @@ TEST(Sweep, FailingJobPropagatesDeterministically)
     // A bad benchmark name in the middle of the batch: the workers
     // must drain, join, and rethrow the lowest-indexed failure.
     std::vector<ExperimentRequest> requests = {
-        ExperimentRequest::of("gups", SchemeKind::NestedWalk,
+        ExperimentRequest::of("gups", "Baseline",
                               tinyConfig()),
         ExperimentRequest::of("no-such-benchmark",
-                              SchemeKind::PomTlb, tinyConfig()),
-        ExperimentRequest::of("also-missing", SchemeKind::Tsb,
+                              "POM-TLB", tinyConfig()),
+        ExperimentRequest::of("also-missing", "TSB",
                               tinyConfig()),
-        ExperimentRequest::of("mcf", SchemeKind::NestedWalk,
+        ExperimentRequest::of("mcf", "Baseline",
                               tinyConfig()),
     };
     for (const unsigned jobs : {1u, 4u}) {
@@ -251,13 +251,13 @@ TEST(Sweep, CompareSchemesParallelMatchesSerial)
 TEST(Sweep, ComponentStatsAttachOnRequest)
 {
     const ExperimentResult with_stats = runExperiment(
-        ExperimentRequest::of("gups", SchemeKind::PomTlb,
+        ExperimentRequest::of("gups", "POM-TLB",
                               tinyConfig())
             .withComponentStats());
     EXPECT_GT(with_stats.componentStats.size(), 10u);
 
     const ExperimentResult without_stats = runExperiment(
-        ExperimentRequest::of("gups", SchemeKind::PomTlb,
+        ExperimentRequest::of("gups", "POM-TLB",
                               tinyConfig()));
     EXPECT_TRUE(without_stats.componentStats.empty());
     EXPECT_GE(without_stats.wallSeconds, 0.0);
@@ -274,7 +274,7 @@ TEST(Sweep, ComponentStatsAttachOnRequest)
 TEST(Sweep, ComponentStatsIsolatedAcrossWorkerThreads)
 {
     const ExperimentRequest request =
-        ExperimentRequest::of("gups", SchemeKind::PomTlb,
+        ExperimentRequest::of("gups", "POM-TLB",
                               tinyConfig())
             .withComponentStats();
     const ExperimentResult serial = runExperiment(request);
@@ -305,8 +305,8 @@ TEST(Sweep, JsonRoundTrip)
         SweepSpec()
             .withBase(tinyConfig())
             .withBenchmarks({"gups"})
-            .withSchemes(
-                {SchemeKind::NestedWalk, SchemeKind::PomTlb})
+            .withSchemes(std::vector<std::string>{"Baseline",
+                                                  "POM-TLB"})
             .withComponentStats());
 
     std::ostringstream out;

@@ -9,6 +9,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -20,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "common/content_hash.hh"
+#include "sim/scenario.hh"
 #include "sim/scheme_registry.hh"
 #include "trace/profile.hh"
 #include "sim/sweep_cache.hh"
@@ -210,6 +213,85 @@ TEST(SweepCache, CorruptEntriesAreQuarantinedNotServed)
     // A subsequent store repairs the slot.
     cache.store(truncated, "a/b", fakeRun("a"));
     EXPECT_TRUE(cache.lookup(truncated).has_value());
+}
+
+// ----------------------------------------------------------------
+// sweepCacheGc
+// ----------------------------------------------------------------
+
+TEST(SweepCacheGc, EvictsByAgeThenOldestFirstBySize)
+{
+    ScratchDir scratch("cache-gc");
+    const std::string dir = scratch.sub("cache");
+    SweepCache cache(dir);
+    const std::string a = ContentHash::of("a");
+    const std::string b = ContentHash::of("b");
+    const std::string c = ContentHash::of("c");
+    cache.store(a, "a/x", fakeRun("a"));
+    cache.store(b, "b/x", fakeRun("b"));
+    cache.store(c, "c/x", fakeRun("c"));
+
+    const auto now = fs::file_time_type::clock::now();
+    fs::last_write_time(cache.entryPath(a),
+                        now - std::chrono::hours(10));
+    fs::last_write_time(cache.entryPath(b),
+                        now - std::chrono::hours(5));
+
+    // Age pass: only the 10-hour-old entry exceeds 8 hours.
+    SweepCacheGcStats stats = sweepCacheGc(dir, 0, 8 * 3600);
+    EXPECT_EQ(stats.scanned, 3u);
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_GT(stats.bytesFreed, 0u);
+    EXPECT_FALSE(cache.lookup(a).has_value());
+    EXPECT_TRUE(cache.lookup(b).has_value());
+    EXPECT_TRUE(cache.lookup(c).has_value());
+
+    // Size pass: room for exactly the newest entry, so the older
+    // survivor goes first.
+    const std::uint64_t newest = fs::file_size(cache.entryPath(c));
+    stats = sweepCacheGc(dir, newest, 0);
+    EXPECT_EQ(stats.scanned, 2u);
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_EQ(stats.bytesKept, newest);
+    EXPECT_FALSE(cache.lookup(b).has_value());
+    EXPECT_TRUE(cache.lookup(c).has_value());
+
+    // No limits: a pure scan, nothing evicted.
+    stats = sweepCacheGc(dir, 0, 0);
+    EXPECT_EQ(stats.scanned, 1u);
+    EXPECT_EQ(stats.evicted, 0u);
+}
+
+TEST(SweepCacheGc, NeverTouchesQuarantineOrInFlightTemporaries)
+{
+    ScratchDir scratch("cache-gc-quarantine");
+    const std::string dir = scratch.sub("cache");
+    SweepCache cache(dir);
+    const std::string kept = ContentHash::of("kept");
+    const std::string corrupt = ContentHash::of("corrupt");
+    cache.store(kept, "a/b", fakeRun("a"));
+    cache.store(corrupt, "c/d", fakeRun("c"));
+    {
+        std::ofstream out(cache.entryPath(corrupt), std::ios::trunc);
+        out << "{\"schema\": \"pomtlb-swee";
+    }
+    // The corrupt entry moves to quarantine/ on lookup.
+    EXPECT_FALSE(cache.lookup(corrupt).has_value());
+    EXPECT_EQ(cache.quarantined(), 1u);
+    // A hidden in-flight temporary, as an interrupted store leaves.
+    {
+        std::ofstream out((fs::path(dir) / ".tmp-inflight").string());
+        out << "partial";
+    }
+
+    // Evict everything evictable: quarantined evidence and the
+    // temporary survive, and neither is even scanned.
+    const SweepCacheGcStats stats = sweepCacheGc(dir, 1, 0);
+    EXPECT_EQ(stats.scanned, 1u);
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_FALSE(cache.lookup(kept).has_value());
+    EXPECT_FALSE(fs::is_empty(fs::path(dir) / "quarantine"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / ".tmp-inflight"));
 }
 
 // ----------------------------------------------------------------
@@ -529,6 +611,45 @@ TEST(ServeSession, StreamsCampaignsAndServesRepeatsFromCache)
               second[3].at("sweep_hash").asString());
 }
 
+TEST(ServeSession, ScenarioOpStreamsAndReplaysScenarioJobs)
+{
+    ScratchDir scratch("serve-scenario");
+    ServeOptions options;
+    options.cacheDir = scratch.sub("cache");
+    options.journalDir = scratch.sub("journals");
+
+    const std::string request =
+        "{\"op\": \"scenario\", \"tenants\": [1, 4], \"cores\": 2, "
+        "\"refs_per_core\": 1000, \"warmup_refs_per_core\": 500, "
+        "\"storm_interval_refs\": 400}\n";
+
+    const std::vector<JsonValue> first =
+        serve(request + "{\"op\": \"shutdown\"}\n", options);
+    // ready, two scenario jobs, scenario-end, bye.
+    ASSERT_EQ(first.size(), 5u);
+    EXPECT_EQ(first[1].at("event").asString(), "scenario-job");
+    EXPECT_EQ(first[1].at("name").asString(), "consolidation-1t");
+    EXPECT_EQ(first[1].at("source").asString(), "executed");
+    EXPECT_EQ(first[1].at("run").at("schema").asString(),
+              kScenarioSchemaV1);
+    EXPECT_EQ(first[2].at("name").asString(), "consolidation-4t");
+    EXPECT_EQ(first[2].at("run").at("tenants").size(), 4u);
+    EXPECT_EQ(first[3].at("event").asString(), "scenario-end");
+    EXPECT_EQ(first[3].at("stats").at("executed").asUint(), 2u);
+
+    // A repeat campaign replays the journal byte-for-byte.
+    const std::vector<JsonValue> second =
+        serve(request + "{\"op\": \"shutdown\"}\n", options);
+    ASSERT_EQ(second.size(), 5u);
+    EXPECT_EQ(second[1].at("source").asString(), "journal");
+    EXPECT_EQ(first[1].at("run").dump(0),
+              second[1].at("run").dump(0));
+    EXPECT_EQ(first[2].at("run").dump(0),
+              second[2].at("run").dump(0));
+    EXPECT_EQ(first[3].at("campaign_hash").asString(),
+              second[3].at("campaign_hash").asString());
+}
+
 TEST(ServeSession, RunOpIsSingleJobSugar)
 {
     const std::vector<JsonValue> events = serve(
@@ -639,6 +760,8 @@ TEST(SweepServiceDoc, CoversEveryEmittedField)
         "{\"op\": \"run\", \"benchmark\": \"mcf\", "
         "\"scheme\": \"pom\", \"cores\": 2, "
         "\"refs_per_core\": 400, \"warmup_refs_per_core\": 200}\n"
+        "{\"op\": \"scenario\", \"tenants\": 1, \"cores\": 2, "
+        "\"refs_per_core\": 400, \"warmup_refs_per_core\": 200}\n"
         "{\"op\": \"stats\"}\n"
         "{\"op\": \"nonsense\"}\n"
         "{\"op\": \"shutdown\"}\n",
@@ -652,13 +775,14 @@ TEST(SweepServiceDoc, CoversEveryEmittedField)
     // kind the protocol defines.
     EXPECT_EQ(eventNames,
               (std::set<std::string>{"ready", "pong", "catalog",
-                                     "job", "sweep-end", "stats",
-                                     "error", "bye"}));
+                                     "job", "sweep-end",
+                                     "scenario-job", "scenario-end",
+                                     "stats", "error", "bye"}));
 
     // Names that are part of the vocabulary, not JSON keys.
     for (const char *name :
-         {"ping", "list", "sweep", "run", "shutdown", "op",
-          "executed", "cache", "journal", kSweepCacheSchemaV1,
+         {"ping", "list", "sweep", "run", "scenario", "shutdown",
+          "op", "executed", "cache", "journal", kSweepCacheSchemaV1,
           kSweepJournalSchemaV1, kSweepServeSchemaV1})
         emitted.insert(name);
     for (const std::string &name : eventNames)

@@ -117,7 +117,7 @@ TEST(TranslationTracer, MachineWiringRecordsMeasuredPhaseOnly)
 {
     SystemConfig config = SystemConfig::table1();
     config.numCores = 2;
-    Machine machine(config, SchemeKind::PomTlb);
+    Machine machine(config, "POM-TLB");
     TranslationTracer &tracer = machine.enableTracing(512, 8);
     ASSERT_EQ(machine.tracer(), &tracer);
 

@@ -90,7 +90,8 @@ main(int argc, char **argv)
         const BenchmarkProfile &profile =
             ProfileRegistry::byName(bench);
         for (const unsigned cores : core_counts) {
-            for (const SchemeKind kind : allSchemeKinds()) {
+            for (const std::string scheme :
+                 {"Baseline", "POM-TLB", "Shared_L2", "TSB"}) {
                 SystemConfig system = SystemConfig::table1();
                 system.numCores = cores;
 
@@ -99,7 +100,7 @@ main(int argc, char **argv)
                 engine_config.warmupRefsPerCore = 1500;
                 engine_config.seed = 42;
 
-                Machine machine(system, kind);
+                Machine machine(system, scheme);
                 SimulationEngine engine(machine, profile,
                                         engine_config);
                 const RunResult result = engine.run();
@@ -108,9 +109,8 @@ main(int argc, char **argv)
                     machine, result, profile.name);
 
                 const std::string path =
-                    out_dir + "/golden_" + bench + "_" +
-                    schemeKindName(kind) + "_c" +
-                    std::to_string(cores) + ".json";
+                    out_dir + "/golden_" + bench + "_" + scheme +
+                    "_c" + std::to_string(cores) + ".json";
                 std::ofstream out(path);
                 if (!out) {
                     std::fprintf(stderr, "cannot open %s\n",

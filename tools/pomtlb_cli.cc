@@ -11,9 +11,14 @@
  *   compare                    run every registered scheme (a
  *                              Figure 8 row)
  *   sweep                      parallel benchmark x scheme sweep
+ *   scenario                   multi-tenant consolidation scenario
+ *                              (churn, overcommit, shootdown
+ *                              storms); emits pomtlb-scenario-v1
  *   serve                      JSONL sweep service loop (requests
  *                              from stdin or a FIFO, streamed
  *                              pomtlb-serve-v1 events on stdout)
+ *   cache-gc                   evict sweep-cache entries by age
+ *                              and/or total size
  *   record-trace               dump a synthetic trace to a file
  *   replay-trace               drive a machine from trace files
  *
@@ -32,6 +37,47 @@
  *   --journal FILE             checkpoint completed jobs to FILE;
  *                              a killed sweep resumes from it
  *   plus the run/compare configuration options below
+ *
+ * scenario options:
+ *   --tenants N[,M,...]        tenant counts; one scenario per
+ *                              count (default 1). A 1-tenant
+ *                              scenario reproduces `pomtlb run`
+ *                              byte-for-byte.
+ *   --tenant-benchmarks a,b    workloads cycled across tenants
+ *                              (default: the --benchmark value)
+ *   --churn-interval N         refs between tenant arrivals when
+ *                              tenants oversubscribe the cores
+ *                              (0 = spread evenly)
+ *   --resident-per-core N      concurrently resident tenants per
+ *                              core under churn (default 4)
+ *   --overcommit F             memory overcommit factor; resident
+ *                              footprints shrink by F (default 1.0)
+ *   --migrate-pages N          pages migrated (remap + shootdown)
+ *                              when a tenant arrives (default 0)
+ *   --storm-interval N         TLB-shootdown storm every N refs
+ *                              per core (default 0 = off)
+ *   --storm-pages N            pages invalidated per storm burst
+ *                              (default 8)
+ *   --time-slice N             round-robin scheduling quantum in
+ *                              refs (default 2000)
+ *   --out FILE                 write the pomtlb-scenario-v1 JSON
+ *                              document (a campaign wrapper when
+ *                              more than one tenant count is given)
+ *   --stats-out FILE           write the embedded pomtlb-stats-v1
+ *                              document of the first scenario
+ *                              (byte-comparable to `pomtlb run
+ *                              --stats-out`)
+ *   --cache-dir / --journal / --jobs
+ *                              memoize and checkpoint scenario jobs
+ *                              exactly like sweep
+ *   plus the run/compare configuration options below
+ *
+ * cache-gc options:
+ *   --cache-dir DIR            the sweep cache to collect
+ *   --max-bytes N              keep at most N bytes of entries
+ *                              (0 = no size limit)
+ *   --max-age SECONDS          evict entries older than this
+ *                              (0 = no age limit)
  *
  * serve options:
  *   --in FILE                  read requests from FILE (a FIFO
@@ -78,6 +124,7 @@
  *   metadata the performance model needs)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +140,7 @@
 #include "sim/engine.hh"
 #include "sim/machine.hh"
 #include "sim/perf_model.hh"
+#include "sim/scenario.hh"
 #include "sim/scheme_registry.hh"
 #include "sim/stats_export.hh"
 #include "sim/sweep.hh"
@@ -148,6 +196,21 @@ struct CliOptions
     // serve
     std::string journalDir;
     std::string inPath;
+
+    // scenario
+    std::string tenantsList = "1";
+    std::string tenantBenchmarks;
+    std::uint64_t churnInterval = 0;
+    std::uint64_t residentPerCore = 4;
+    double overcommit = 1.0;
+    std::uint64_t migratePages = 0;
+    std::uint64_t stormInterval = 0;
+    std::uint64_t stormPages = 8;
+    std::uint64_t timeSlice = 0;
+
+    // cache-gc
+    std::uint64_t maxBytes = 0;
+    std::uint64_t maxAgeSeconds = 0;
 };
 
 [[noreturn]] void
@@ -156,7 +219,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: pomtlb <list|list-schemes|show-config|run|compare|"
-        "sweep|serve|record-trace|replay-trace> "
+        "sweep|scenario|serve|cache-gc|record-trace|replay-trace> "
         "[options]\n  see the header of tools/pomtlb_cli.cc or the "
         "README for the option list\n");
     std::exit(2);
@@ -167,6 +230,18 @@ parseNumber(const char *text)
 {
     char *end = nullptr;
     const std::uint64_t value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "bad number: '%s'\n", text);
+        std::exit(2);
+    }
+    return value;
+}
+
+double
+parseDouble(const char *text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
     if (end == text || *end != '\0') {
         std::fprintf(stderr, "bad number: '%s'\n", text);
         std::exit(2);
@@ -248,6 +323,28 @@ parseOptions(int argc, char **argv, int first)
             options.journalDir = next();
         else if (arg == "--in")
             options.inPath = next();
+        else if (arg == "--tenants")
+            options.tenantsList = next();
+        else if (arg == "--tenant-benchmarks")
+            options.tenantBenchmarks = next();
+        else if (arg == "--churn-interval")
+            options.churnInterval = parseNumber(next());
+        else if (arg == "--resident-per-core")
+            options.residentPerCore = parseNumber(next());
+        else if (arg == "--overcommit")
+            options.overcommit = parseDouble(next());
+        else if (arg == "--migrate-pages")
+            options.migratePages = parseNumber(next());
+        else if (arg == "--storm-interval")
+            options.stormInterval = parseNumber(next());
+        else if (arg == "--storm-pages")
+            options.stormPages = parseNumber(next());
+        else if (arg == "--time-slice")
+            options.timeSlice = parseNumber(next());
+        else if (arg == "--max-bytes")
+            options.maxBytes = parseNumber(next());
+        else if (arg == "--max-age")
+            options.maxAgeSeconds = parseNumber(next());
         else
             usage();
     }
@@ -623,6 +720,161 @@ commandSweep(const CliOptions &options)
     return 0;
 }
 
+/** Build one ScenarioSpec for @p tenants tenants from the CLI. */
+ScenarioSpec
+scenarioFrom(const CliOptions &options, std::uint64_t tenants)
+{
+    const ExperimentConfig config = configFrom(options);
+    ScenarioSpec spec;
+    spec.name = "consolidation-" + std::to_string(tenants) + "t";
+    spec.scheme = schemeFromName(options.scheme);
+    spec.system = config.system;
+    spec.engine = config.engine;
+    spec.tenantCount = static_cast<unsigned>(tenants);
+    spec.tenantBenchmarks = options.tenantBenchmarks.empty()
+                                ? std::vector<std::string>{
+                                      options.benchmark}
+                                : splitList(options.tenantBenchmarks);
+    for (const std::string &name : spec.tenantBenchmarks) {
+        if (ProfileRegistry::find(name) == nullptr) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n",
+                         name.c_str());
+            std::exit(2);
+        }
+    }
+    spec.churnIntervalRefs = options.churnInterval;
+    spec.residentPerCore =
+        static_cast<unsigned>(options.residentPerCore);
+    spec.overcommitFactor = options.overcommit;
+    spec.migrationPagesPerArrival = options.migratePages;
+    spec.storm.intervalRefs = options.stormInterval;
+    spec.storm.pagesPerBurst =
+        static_cast<unsigned>(options.stormPages);
+    spec.timeSliceRefs = options.timeSlice;
+    return spec;
+}
+
+int
+commandScenario(const CliOptions &options)
+{
+    std::vector<ScenarioSpec> specs;
+    for (const std::string &count : splitList(options.tenantsList))
+        specs.push_back(
+            scenarioFrom(options, parseNumber(count.c_str())));
+    if (specs.empty()) {
+        std::fprintf(stderr, "--tenants needs at least one count\n");
+        return 2;
+    }
+
+    ScenarioCampaignOptions campaign;
+    campaign.cacheDir = options.cacheDir;
+    campaign.journalPath = options.journalPath;
+    campaign.jobs = options.jobs;
+    if (const char *crash = std::getenv("POMTLB_SWEEP_CRASH_AFTER")) {
+        campaign.crashAfterAppends =
+            static_cast<unsigned>(parseNumber(crash));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    SweepServiceStats service_stats;
+    const std::size_t total = specs.size();
+    const JsonValue document = runScenarioCampaign(
+        specs, campaign, &service_stats,
+        [&](const ScenarioJobReport &report, const JsonValue &) {
+            std::fprintf(stderr, "  [%zu/%zu] %s (%s)\n",
+                         report.index + 1, total,
+                         report.name.c_str(),
+                         jobSourceName(report.source));
+        });
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    ResultTable table({"scenario", "tenants", "departures",
+                       "migrations", "storm sd", "worst p99"});
+    const JsonValue &runs = document.at("runs");
+    for (std::size_t i = 0; i < runs.elements().size(); ++i) {
+        const JsonValue &run = runs.at(i);
+        const JsonValue &tenants = run.at("tenants");
+        double worst_p99 = 0.0;
+        for (const JsonValue &tenant : tenants.elements()) {
+            worst_p99 = std::max(
+                worst_p99,
+                tenant.at("p99_translation_cycles").asNumber());
+        }
+        const JsonValue &events = run.at("events");
+        table.addRow(
+            {run.at("scenario").at("name").asString(),
+             std::to_string(tenants.elements().size()),
+             std::to_string(events.at("departures").asUint()),
+             std::to_string(events.at("migrations").asUint()),
+             std::to_string(events.at("storm_shootdowns").asUint()),
+             ResultTable::num(worst_p99, 0)});
+    }
+    table.print(std::cout);
+    std::printf("\n%zu scenario(s) in %.2f s wall\n", total, wall);
+    const bool service_mode =
+        !options.cacheDir.empty() || !options.journalPath.empty();
+    if (service_mode) {
+        std::printf("scenario-cache: jobs=%zu executed=%zu "
+                    "cache_hits=%zu journal_hits=%zu "
+                    "deduplicated=%zu quarantined=%zu\n",
+                    service_stats.jobs, service_stats.executed,
+                    service_stats.cacheHits,
+                    service_stats.journalHits,
+                    service_stats.deduplicated,
+                    service_stats.quarantined);
+    }
+
+    if (options.outPathSet) {
+        std::ofstream out(options.outPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         options.outPath.c_str());
+            return 1;
+        }
+        // A single scenario gets its own document; several get the
+        // campaign wrapper. Both carry schema pomtlb-scenario-v1.
+        const JsonValue &payload =
+            total == 1 ? runs.at(std::size_t{0}) : document;
+        payload.write(out);
+        out << "\n";
+        std::printf("wrote %s document to %s\n", kScenarioSchemaV1,
+                    options.outPath.c_str());
+    }
+    if (!options.statsOutPath.empty()) {
+        std::ofstream out(options.statsOutPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         options.statsOutPath.c_str());
+            return 1;
+        }
+        runs.at(std::size_t{0}).at("stats").write(out);
+        out << "\n";
+        std::printf("wrote %s document to %s\n", kStatsSchemaV1,
+                    options.statsOutPath.c_str());
+    }
+    return 0;
+}
+
+int
+commandCacheGc(const CliOptions &options)
+{
+    if (options.cacheDir.empty()) {
+        std::fprintf(stderr, "cache-gc needs --cache-dir DIR\n");
+        return 2;
+    }
+    const SweepCacheGcStats stats = sweepCacheGc(
+        options.cacheDir, options.maxBytes, options.maxAgeSeconds);
+    std::printf("cache-gc: scanned=%zu evicted=%zu "
+                "bytes_freed=%llu bytes_kept=%llu\n",
+                stats.scanned, stats.evicted,
+                static_cast<unsigned long long>(stats.bytesFreed),
+                static_cast<unsigned long long>(stats.bytesKept));
+    return 0;
+}
+
 int
 commandServe(const CliOptions &options)
 {
@@ -735,8 +987,12 @@ main(int argc, char **argv)
         return commandCompare(options);
     if (command == "sweep")
         return commandSweep(options);
+    if (command == "scenario")
+        return commandScenario(options);
     if (command == "serve")
         return commandServe(options);
+    if (command == "cache-gc")
+        return commandCacheGc(options);
     if (command == "record-trace")
         return commandRecordTrace(options);
     if (command == "replay-trace")
