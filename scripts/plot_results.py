@@ -31,7 +31,10 @@ Three input formats are accepted and auto-detected:
 * a ``pomtlb-scenario-v1`` consolidation-scenario document
   (``pomtlb scenario --out``), single scenario or campaign wrapper:
   rendered as a per-tenant QoS chart, one bar group per tenant with
-  the p50/p95/p99 translation-cycle percentiles.
+  the p50/p95/p99 translation-cycle percentiles; and
+* a ``pomtlb-tracepack-v1`` trace-pack description (the
+  ``pomtlb trace info --json`` document, docs/trace-format.md):
+  rendered as a per-stream chart of record and chunk counts.
 
 The default output is a grouped bar chart in the paper's figure
 style: benchmarks on the x-axis, one bar group per series.
@@ -46,10 +49,10 @@ Unknown *versions* of a known result schema family (e.g. a future
 missing required fields are hard errors naming the field. Cache
 entries, serve events, and scenario documents are different: a
 version bump there changes the job-identity recipe, the wire
-protocol, or the scenario-identity recipe, so an unknown
-``pomtlb-sweepcache-*``, ``pomtlb-serve-*``, or
-``pomtlb-scenario-*`` version is a hard error naming the input path
-and the offending schema. Run
+protocol, the scenario-identity recipe, or the trace container
+layout, so an unknown ``pomtlb-sweepcache-*``, ``pomtlb-serve-*``,
+``pomtlb-scenario-*``, or ``pomtlb-tracepack-*`` version is a hard
+error naming the input path and the offending schema. Run
 ``scripts/plot_results.py --selftest`` to execute the built-in parser
 tests (no matplotlib needed; CI runs this as a ctest).
 
@@ -68,6 +71,7 @@ STATS_SCHEMA = "pomtlb-stats-v1"
 SWEEPCACHE_SCHEMA = "pomtlb-sweepcache-v1"
 SERVE_SCHEMA = "pomtlb-serve-v1"
 SCENARIO_SCHEMA = "pomtlb-scenario-v1"
+TRACEPACK_SCHEMA = "pomtlb-tracepack-v1"
 
 #: The per-tenant QoS percentiles a scenario chart plots, in order.
 SCENARIO_PERCENTILES = [
@@ -216,6 +220,44 @@ def scenario_rows(document):
         raise ParseError(
             "scenario document contains no tenants — nothing to "
             "plot"
+        )
+    return rows
+
+
+def tracepack_rows(document):
+    """Per-stream rows from a ``pomtlb trace info --json`` document.
+
+    One row per stream: its name, record count, and chunk count.
+    Trace packs are an identity format — their content hash feeds
+    sweep-cache job identity — so unlike the result schemas an
+    unknown ``pomtlb-tracepack-*`` version is a hard error (the CLI
+    prefixes the input path): guessing at a future container layout
+    would silently misreport what a memoized campaign replayed.
+    """
+    schema = _require(document, "schema", "")
+    if schema != TRACEPACK_SCHEMA:
+        raise ParseError(
+            f"unsupported trace-pack schema {schema!r}; this "
+            f"script understands {TRACEPACK_SCHEMA} only (re-pack "
+            "the trace with this build's `pomtlb trace pack`)"
+        )
+    rows = []
+    for index, stream in enumerate(
+        _require(document, "streams", "")
+    ):
+        context = f"streams[{index}]."
+        rows.append(
+            {
+                "stream": _require(stream, "name", context),
+                "records": str(
+                    _require(stream, "records", context)
+                ),
+                "chunks": str(_require(stream, "chunks", context)),
+            }
+        )
+    if not rows:
+        raise ParseError(
+            "trace pack contains no streams — nothing to plot"
         )
     return rows
 
@@ -792,6 +834,54 @@ def selftest():
                     {"schema": SCENARIO_SCHEMA, "runs": []}
                 )
 
+        def tracepack_doc(self):
+            return {
+                "schema": TRACEPACK_SCHEMA,
+                "path": "mcf.pack",
+                "file_bytes": 17120,
+                "header_bytes": 128,
+                "record_bytes": 16,
+                "chunk_records": 4096,
+                "records": 1000,
+                "chunks": 2,
+                "content_hash": "0" * 32,
+                "finalized": True,
+                "streams": [
+                    {"name": "core0", "records": 750, "chunks": 1},
+                    {"name": "core1", "records": 250, "chunks": 1},
+                ],
+            }
+
+        def test_tracepack_rows_one_per_stream(self):
+            rows = tracepack_rows(self.tracepack_doc())
+            self.assertEqual(
+                [r["stream"] for r in rows], ["core0", "core1"]
+            )
+            self.assertEqual(rows[0]["records"], "750")
+            self.assertEqual(rows[1]["chunks"], "1")
+
+        def test_unknown_tracepack_version_is_a_hard_error(self):
+            document = self.tracepack_doc()
+            document["schema"] = "pomtlb-tracepack-v9"
+            with self.assertRaisesRegex(
+                ParseError, "pomtlb-tracepack-v9"
+            ):
+                tracepack_rows(document)
+
+        def test_tracepack_missing_field_names_the_path(self):
+            document = self.tracepack_doc()
+            del document["streams"][1]["records"]
+            with self.assertRaisesRegex(
+                ParseError, r"streams\[1\].records"
+            ):
+                tracepack_rows(document)
+
+        def test_empty_tracepack_errors(self):
+            document = self.tracepack_doc()
+            document["streams"] = []
+            with self.assertRaisesRegex(ParseError, "no streams"):
+                tracepack_rows(document)
+
     suite = unittest.defaultTestLoader.loadTestsFromTestCase(
         ParserTests
     )
@@ -857,6 +947,10 @@ def main():
                 "pomtlb-scenario-"
             ):
                 rows = scenario_rows(document)
+            elif isinstance(schema, str) and schema.startswith(
+                "pomtlb-tracepack-"
+            ):
+                rows = tracepack_rows(document)
             else:
                 rows = sweep_rows(document, args.metric)
         else:

@@ -6,6 +6,7 @@
 #include "common/hash_set.hh"
 #include "common/log.hh"
 #include "sim/clock_heap.hh"
+#include "trace/tracepack.hh"
 
 namespace pomtlb
 {
@@ -73,11 +74,23 @@ SimulationEngine::SimulationEngine(Machine &machine_ref,
     : machine(machine_ref), profile(bench), engineConfig(config)
 {
     const unsigned cores = machine.numCores();
-    const std::uint64_t seed = config.seed ^ machine.config().seed;
     sources.reserve(cores);
-    for (unsigned core = 0; core < cores; ++core) {
-        sources.push_back(
-            std::make_unique<GeneratorSource>(profile, core, seed));
+    if (!config.tracePackPath.empty()) {
+        // Replay a recorded pack instead of generating: one shared
+        // mmap-ed reader, core c on stream c % stream_count.
+        auto pack = std::make_shared<TracePackReader>(
+            config.tracePackPath);
+        for (unsigned core = 0; core < cores; ++core) {
+            sources.push_back(std::make_unique<PackStreamSource>(
+                pack, core % pack->streamCount()));
+        }
+    } else {
+        const std::uint64_t seed =
+            config.seed ^ machine.config().seed;
+        for (unsigned core = 0; core < cores; ++core) {
+            sources.push_back(std::make_unique<GeneratorSource>(
+                profile, core, seed));
+        }
     }
     initCores();
 }

@@ -25,6 +25,7 @@
 #ifndef POMTLB_SIM_ENGINE_HH
 #define POMTLB_SIM_ENGINE_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -58,6 +59,17 @@ struct EngineConfig
      */
     std::uint64_t shootdownIntervalRefs = 0;
     Cycles shootdownCycles = 500;
+    /**
+     * When non-empty, the primary constructor drives every core from
+     * this pomtlb-tracepack-v1 file instead of the synthetic
+     * generators: core @c c replays pack stream <tt>c %
+     * stream_count</tt>, wrapping, straight out of the mapping
+     * (trace/tracepack.hh). The pack's content hash joins the
+     * sweep-cache job identity (sim/sweep_cache.hh) so memoized
+     * campaigns re-execute when the trace changes. Opening throws a
+     * path-named TraceError on corrupt input.
+     */
+    std::string tracePackPath;
     /**
      * Steady-state pre-population: before timed simulation, a dry
      * enumeration of the whole trace installs every touched page in

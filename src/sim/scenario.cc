@@ -20,6 +20,7 @@
 #include "sim/stats_export.hh"
 #include "tlb/core_tlbs.hh"
 #include "trace/profile.hh"
+#include "trace/tracepack.hh"
 
 namespace pomtlb
 {
@@ -158,7 +159,23 @@ ScenarioSpec::resolvedTenants() const
                 static_cast<Addr>(static_cast<double>(nominal) /
                                   overcommitFactor));
         }
+        out.tracePack = t.tracePack;
+        out.traceStreamBase = t.traceStream;
         resolved.push_back(std::move(out));
+    }
+
+    // The scenario-wide pack (pomtlb scenario --trace-in) backs
+    // every tenant that has no pack of its own, one stream per vCPU
+    // in resolved order — the layout recordPack() writes.
+    if (!tracePack.empty()) {
+        std::uint32_t stream_base = 0;
+        for (ResolvedTenant &t : resolved) {
+            if (t.tracePack.empty()) {
+                t.tracePack = tracePack;
+                t.traceStreamBase = stream_base;
+            }
+            stream_base += t.vcpus;
+        }
     }
     return resolved;
 }
@@ -191,6 +208,8 @@ ScenarioEngine::buildStreams()
     const unsigned cores = machine.numCores();
     const std::uint64_t seed =
         engineConfig.seed ^ machine.config().seed;
+    // Tenants sharing a pack share one mmap-ed reader.
+    std::map<std::string, std::shared_ptr<TracePackReader>> packs;
     std::uint32_t stream_id = 0;
     for (unsigned t = 0; t < tenants.size(); ++t) {
         const ResolvedTenant &tenant = tenants[t];
@@ -200,10 +219,22 @@ ScenarioEngine::buildStreams()
         BenchmarkProfile profile =
             ProfileRegistry::byName(tenant.benchmark);
         profile.footprintBytes = tenant.footprintBytes;
+        std::shared_ptr<TracePackReader> pack;
+        if (!tenant.tracePack.empty()) {
+            auto &slot = packs[tenant.tracePack];
+            if (!slot)
+                slot = std::make_shared<TracePackReader>(
+                    tenant.tracePack);
+            pack = slot;
+        }
         for (unsigned v = 0; v < tenant.vcpus; ++v, ++stream_id) {
             TenantStream stream;
-            stream.source = std::make_unique<GeneratorSource>(
-                profile, CoreId(stream_id), seed);
+            if (pack)
+                stream.source = std::make_unique<PackStreamSource>(
+                    pack, tenant.traceStreamBase + v);
+            else
+                stream.source = std::make_unique<GeneratorSource>(
+                    profile, CoreId(stream_id), seed);
             stream.tenant = t;
             stream.homeCore = stream_id % cores;
             stream.vm = tenant.vm;
@@ -389,6 +420,47 @@ ScenarioEngine::buildRegistry()
 // ---------------------------------------------------------------
 // ScenarioEngine: execution
 // ---------------------------------------------------------------
+
+void
+ScenarioEngine::recordPack(const std::string &path)
+{
+    // One pack stream per compiled tenant stream, in stream order
+    // (= one per vCPU in resolved-tenant order) — the layout
+    // ScenarioSpec::tracePack consumes on replay.
+    std::vector<std::string> names;
+    names.reserve(streams.size());
+    std::vector<unsigned> vcpu_seen(tenants.size(), 0);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+        const unsigned t = streams.at(s).tenant;
+        names.push_back(tenants[t].name + "/" +
+                        std::to_string(vcpu_seen[t]++));
+    }
+
+    TracePackWriter writer(path, std::move(names));
+    std::vector<TraceRecord> block(static_cast<std::size_t>(
+        TenantStreamSet::streamBlockRecords));
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+        TenantStream &stream = streams.at(s);
+        stream.source->rewind();
+        std::uint64_t remaining = stream.totalRefs;
+        while (remaining > 0) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(remaining, block.size()));
+            const std::size_t got =
+                stream.source->fill(block.data(), want);
+            if (got == 0)
+                throw TraceError(
+                    "cannot record trace pack '" + path + "': " +
+                    stream.source->describe() +
+                    " ran out of records");
+            writer.append(static_cast<std::uint32_t>(s),
+                          block.data(), got);
+            remaining -= got;
+        }
+        stream.source->rewind();
+    }
+    writer.close();
+}
 
 void
 ScenarioEngine::prepopulate()
@@ -801,6 +873,16 @@ scenarioIdentityJson(const ScenarioSpec &spec)
         tenant.set("departure_refs", t.departureRefs);
         tenant.set("footprint_bytes", t.footprintBytes);
         tenant.set("multithreaded", t.multithreaded);
+        // Only for pack-backed tenants, so generator-driven
+        // identities (and their pinned digests) are unchanged. The
+        // *content* hash, not the path: editing a record in place
+        // changes — and re-executes — the memoized scenario.
+        if (!t.tracePack.empty()) {
+            tenant.set("trace_pack_hash",
+                       tracePackContentHash(t.tracePack));
+            tenant.set("trace_stream",
+                       std::uint64_t(t.traceStreamBase));
+        }
         tenant_list.push(std::move(tenant));
     }
     identity.set("tenants", std::move(tenant_list));

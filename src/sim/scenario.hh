@@ -91,6 +91,18 @@ struct TenantSpec
     std::uint64_t departureRefs = 0;
     /** Nominal footprint override; 0 uses the profile's. */
     Addr footprintBytes = 0;
+    /**
+     * When non-empty, this tenant's vCPU streams replay a
+     * pomtlb-tracepack-v1 file (docs/trace-format.md) instead of
+     * the synthetic generator: vCPU @c v reads pack stream
+     * @c traceStream + v. Overrides ScenarioSpec::tracePack for
+     * this tenant. The pack's content hash joins the scenario
+     * identity, so memoized campaigns re-execute when the trace
+     * changes.
+     */
+    std::string tracePack;
+    /** First pack stream of this tenant (with @c tracePack). */
+    std::uint32_t traceStream = 0;
 
     /** @name Fluent builders. */
     ///@{
@@ -102,6 +114,12 @@ struct TenantSpec
     TenantSpec &withArrival(std::uint64_t refs) { arrivalRefs = refs; return *this; }
     TenantSpec &withDeparture(std::uint64_t refs) { departureRefs = refs; return *this; }
     TenantSpec &withFootprint(Addr bytes) { footprintBytes = bytes; return *this; }
+    TenantSpec &withTracePack(std::string path, std::uint32_t stream = 0)
+    {
+        tracePack = std::move(path);
+        traceStream = stream;
+        return *this;
+    }
     ///@}
 };
 
@@ -138,6 +156,10 @@ struct ResolvedTenant
     Addr footprintBytes = 0;
     /** From the profile: vCPUs share one address space. */
     bool multithreaded = false;
+    /** Trace pack backing this tenant's streams ("" = generator). */
+    std::string tracePack;
+    /** First pack stream; vCPU @c v reads stream base + v. */
+    std::uint32_t traceStreamBase = 0;
 };
 
 /** A whole consolidation scenario, declaratively. */
@@ -186,6 +208,15 @@ struct ScenarioSpec
     StormSpec storm;
     /** Round-robin quantum when streams share a core (0 = 2000). */
     std::uint64_t timeSliceRefs = 2000;
+    /**
+     * Scenario-wide trace pack: every tenant without its own
+     * TenantSpec::tracePack replays this file, taking one pack
+     * stream per vCPU in resolved-tenant order — exactly the
+     * layout ScenarioEngine::recordPack() writes, so a recorded
+     * scenario replays its generator-driven twin byte-identically
+     * (`pomtlb scenario --trace-in`).
+     */
+    std::string tracePack;
 
     /**
      * Resolve to the canonical tenant list: expands the generator
@@ -220,6 +251,11 @@ struct ScenarioSpec
     ScenarioSpec &withMigrationPages(std::uint64_t pages) { migrationPagesPerArrival = pages; return *this; }
     ScenarioSpec &withStorm(StormSpec s) { storm = s; return *this; }
     ScenarioSpec &withTimeSlice(std::uint64_t refs) { timeSliceRefs = refs; return *this; }
+    ScenarioSpec &withTracePack(std::string path)
+    {
+        tracePack = std::move(path);
+        return *this;
+    }
     ///@}
 };
 
@@ -282,6 +318,19 @@ class ScenarioEngine
 
     /** Run warmup + measured phases; returns measured-phase stats. */
     ScenarioResult run();
+
+    /**
+     * Record every compiled stream's whole-run records into a
+     * pomtlb-tracepack-v1 file at @p path: one pack stream per
+     * tenant vCPU in resolved-tenant order, named
+     * "&lt;tenant&gt;/&lt;vcpu&gt;", each holding exactly the
+     * stream's scheduled reference count. Replaying the pack with
+     * ScenarioSpec::tracePack reproduces this scenario's stats
+     * document byte-identically. Call before run(); the streams
+     * are rewound afterwards, so a subsequent run() is unaffected.
+     * Throws TraceError if the pack cannot be written.
+     */
+    void recordPack(const std::string &path);
 
     /**
      * The scenario's statistics registry: one group per tenant

@@ -10,6 +10,7 @@
 
 #include "common/content_hash.hh"
 #include "common/log.hh"
+#include "trace/tracepack.hh"
 
 namespace fs = std::filesystem;
 
@@ -189,6 +190,14 @@ engineConfigJson(const EngineConfig &config)
                config.shootdownIntervalRefs);
     object.set("shootdown_cycles", config.shootdownCycles);
     object.set("prepopulate", config.prepopulate);
+    // Emitted only for trace-pack-driven runs so generator-driven
+    // identities (and their pinned golden digests) are unchanged.
+    // The identity is the pack's *content* hash, not its path: the
+    // same records hash identically anywhere, and editing a record
+    // in place changes — and therefore re-executes — the job.
+    if (!config.tracePackPath.empty())
+        object.set("trace_pack_hash",
+                   tracePackContentHash(config.tracePackPath));
     return object;
 }
 
@@ -350,7 +359,7 @@ SweepCache::store(const std::string &job_hash,
 
 SweepCacheGcStats
 sweepCacheGc(const std::string &dir, std::uint64_t max_bytes,
-             std::uint64_t max_age_seconds)
+             std::uint64_t max_age_seconds, bool dry_run)
 {
     SweepCacheGcStats stats;
 
@@ -403,16 +412,19 @@ sweepCacheGc(const std::string &dir, std::uint64_t max_bytes,
 
     const fs::file_time_type now = fs::file_time_type::clock::now();
     const auto evict = [&](const Entry &entry) {
-        std::error_code remove_error;
-        if (fs::remove(entry.path, remove_error)) {
-            ++stats.evicted;
-            stats.bytesFreed += entry.bytes;
-            total -= entry.bytes;
-            return true;
+        if (!dry_run) {
+            std::error_code remove_error;
+            if (!fs::remove(entry.path, remove_error)) {
+                warn("cache-gc: cannot remove ",
+                     entry.path.string(), ": ",
+                     remove_error.message());
+                return false;
+            }
         }
-        warn("cache-gc: cannot remove ", entry.path.string(),
-             ": ", remove_error.message());
-        return false;
+        ++stats.evicted;
+        stats.bytesFreed += entry.bytes;
+        total -= entry.bytes;
+        return true;
     };
 
     std::vector<char> gone(entries.size(), 0);

@@ -217,10 +217,16 @@ struct SweepCacheGcStats
  * (0 = no size limit). Only top-level entry files are candidates:
  * the quarantine subdirectory (post-mortem evidence) and hidden
  * in-flight temporaries are never touched.
+ *
+ * With @p dry_run set, nothing is removed: the returned stats
+ * report what the same two-pass eviction *would* delete (evicted /
+ * bytesFreed) and keep, so operators can audit a policy before
+ * applying it (`pomtlb cache-gc --dry-run`).
  */
 SweepCacheGcStats sweepCacheGc(const std::string &dir,
                                std::uint64_t max_bytes,
-                               std::uint64_t max_age_seconds);
+                               std::uint64_t max_age_seconds,
+                               bool dry_run = false);
 
 /** Where a job's result came from. */
 enum class JobSource

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "trace/error.hh"
 
 namespace pomtlb
 {
@@ -115,17 +116,41 @@ TraceFileReader::TraceFileReader(const std::string &path, bool wrap)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open trace file '", path, "'");
+        throw TraceError("cannot open trace file '" + path + "'");
+    in.seekg(0, std::ios::end);
+    const std::uint64_t fileBytes =
+        static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+
+    constexpr std::uint64_t headerBytes = 16;
+    constexpr std::uint64_t recordBytes = 13;
+    if (fileBytes < headerBytes)
+        throw TraceError(
+            "trace file '" + path + "' is too short: " +
+            std::to_string(fileBytes) + " bytes, but the header "
+            "alone is " + std::to_string(headerBytes) + " bytes");
 
     char magic[4];
     in.read(magic, 4);
     if (!in || std::memcmp(magic, traceMagic, 4) != 0)
-        fatal("'", path, "' is not a POM-TLB trace file");
+        throw TraceError("'" + path +
+                         "' is not a POM-TLB trace file");
     const std::uint32_t version = getU32(in);
     if (version != traceVersion)
-        fatal("trace file '", path, "' has unsupported version ",
-              version);
+        throw TraceError("trace file '" + path +
+                         "' has unsupported version " +
+                         std::to_string(version));
     count = getU64(in);
+    const std::uint64_t needed = headerBytes + count * recordBytes;
+    if (fileBytes < needed)
+        throw TraceError(
+            "trace file '" + path + "' truncated: header claims " +
+            std::to_string(count) + " records (" +
+            std::to_string(needed) + " bytes) but the file holds "
+            "only " + std::to_string(fileBytes) + " bytes");
+    if (count == 0)
+        throw TraceError("trace file '" + path +
+                         "' contains no records");
 
     records.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -140,11 +165,10 @@ TraceFileReader::TraceFileReader(const std::string &path, bool wrap)
                               ? PageSize::Large2M
                               : PageSize::Small4K;
         if (!in)
-            fatal("trace file '", path, "' truncated at record ", i);
+            throw TraceError("error reading trace file '" + path +
+                             "' at record " + std::to_string(i));
         records.push_back(record);
     }
-    if (count == 0)
-        fatal("trace file '", path, "' contains no records");
 }
 
 TraceRecord

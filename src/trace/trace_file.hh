@@ -63,7 +63,12 @@ class TraceFileReader
 {
   public:
     /**
-     * Open and validate @p path (fatal on bad magic/version).
+     * Open and validate @p path. Malformed input — missing file,
+     * bad magic or version, a header that claims more records than
+     * the file holds — throws a path-named, size-reporting
+     * TraceError (trace/error.hh) instead of terminating the
+     * process, so batch converters and the CLI can report and
+     * continue.
      *
      * @param wrap When true, next() restarts from the first record
      *             after the last one (short traces can then drive

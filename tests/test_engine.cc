@@ -11,6 +11,7 @@
 #include "sim/engine.hh"
 #include "trace/source.hh"
 #include "trace/trace_file.hh"
+#include "trace/tracepack.hh"
 
 namespace pomtlb
 {
@@ -162,6 +163,63 @@ TEST(Engine, FileSourcesDriveTheMachine)
     EXPECT_EQ(result.totals().refs, 4000u);
     // Pre-population still covers every page: no walks.
     EXPECT_LT(result.totals().walkFraction, 0.01);
+    std::remove(path.c_str());
+}
+
+TEST(Engine, PackReplayMatchesTheGeneratorRunExactly)
+{
+    const auto &profile = ProfileRegistry::byName("mcf");
+    const SystemConfig system = twoCores();
+    const EngineConfig config = quickEngine();
+
+    // The generator-driven reference run.
+    Machine machine_a(system, "POM-TLB");
+    SimulationEngine engine_a(machine_a, profile, config);
+    const RunResult a = engine_a.run();
+
+    // Capture the exact streams that run consumed — same combined
+    // seed, one stream per core, warmup + measured records...
+    const std::string path =
+        ::testing::TempDir() + "engine_pack_replay.pack";
+    {
+        TracePackWriter writer(path, {"core0", "core1"});
+        const std::uint64_t per_core =
+            config.warmupRefsPerCore + config.refsPerCore;
+        std::vector<TraceRecord> block(1024);
+        for (unsigned core = 0; core < 2; ++core) {
+            GeneratorSource source(profile, core,
+                                   config.seed ^ system.seed);
+            std::uint64_t left = per_core;
+            while (left > 0) {
+                const std::size_t got = source.fill(
+                    block.data(),
+                    static_cast<std::size_t>(std::min<std::uint64_t>(
+                        block.size(), left)));
+                writer.append(core, block.data(), got);
+                left -= got;
+            }
+        }
+        writer.close();
+    }
+
+    // ...and replay it: every per-core figure matches exactly.
+    EngineConfig replay = config;
+    replay.tracePackPath = path;
+    Machine machine_b(system, "POM-TLB");
+    SimulationEngine engine_b(machine_b, profile, replay);
+    const RunResult b = engine_b.run();
+
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (std::size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_EQ(a.cores[i].cycles, b.cores[i].cycles);
+        EXPECT_EQ(a.cores[i].instructions, b.cores[i].instructions);
+        EXPECT_EQ(a.cores[i].translationCycles,
+                  b.cores[i].translationCycles);
+        EXPECT_EQ(a.cores[i].l1TlbHits, b.cores[i].l1TlbHits);
+        EXPECT_EQ(a.cores[i].lastLevelTlbMisses,
+                  b.cores[i].lastLevelTlbMisses);
+        EXPECT_EQ(a.cores[i].pageWalks, b.cores[i].pageWalks);
+    }
     std::remove(path.c_str());
 }
 

@@ -25,6 +25,7 @@
 #include "sim/scenario.hh"
 #include "sim/scheme_registry.hh"
 #include "trace/profile.hh"
+#include "trace/tracepack.hh"
 #include "sim/sweep_cache.hh"
 #include "sim/sweep_serve.hh"
 
@@ -139,6 +140,39 @@ TEST(JobHash, EveryRelevantKnobChangesTheHash)
     EXPECT_NE(digest,
               jobHash(ExperimentRequest(base).withMode(
                   ExecMode::Native)));
+}
+
+TEST(JobHash, TracePackContentJoinsTheIdentity)
+{
+    ScratchDir scratch("jobhash-pack");
+    const std::string pack = scratch.sub("t.pack");
+    const auto writePack = [&](std::uint64_t first_vaddr) {
+        TracePackWriter writer(pack, {"core0"});
+        TraceRecord record;
+        record.vaddr = first_vaddr;
+        writer.append(0, record);
+        record.vaddr = 0x2000;
+        writer.append(0, record);
+        writer.close();
+    };
+
+    // A pack-driven job hashes differently from the generator-driven
+    // job with the same knobs.
+    writePack(0x1000);
+    ExperimentConfig config;
+    config.engine.tracePackPath = pack;
+    const ExperimentRequest replay =
+        ExperimentRequest::of("mcf", "pom", config);
+    const std::string digest = jobHash(replay);
+    EXPECT_NE(digest, jobHash(ExperimentRequest::of("mcf", "pom")));
+
+    // Same knobs, same pack content (even rewritten) -> same hash;
+    // one changed record -> a different hash. The path itself is
+    // not the identity, the content hash is.
+    writePack(0x1000);
+    EXPECT_EQ(digest, jobHash(replay));
+    writePack(0x1001);
+    EXPECT_NE(digest, jobHash(replay));
 }
 
 // ----------------------------------------------------------------
@@ -260,6 +294,38 @@ TEST(SweepCacheGc, EvictsByAgeThenOldestFirstBySize)
     stats = sweepCacheGc(dir, 0, 0);
     EXPECT_EQ(stats.scanned, 1u);
     EXPECT_EQ(stats.evicted, 0u);
+}
+
+TEST(SweepCacheGc, DryRunReportsTheEvictionWithoutRemoving)
+{
+    ScratchDir scratch("cache-gc-dry");
+    const std::string dir = scratch.sub("cache");
+    SweepCache cache(dir);
+    const std::string a = ContentHash::of("a");
+    const std::string b = ContentHash::of("b");
+    cache.store(a, "a/x", fakeRun("a"));
+    cache.store(b, "b/x", fakeRun("b"));
+    const auto now = fs::file_time_type::clock::now();
+    fs::last_write_time(cache.entryPath(a),
+                        now - std::chrono::hours(10));
+
+    // The dry run reports exactly what the real pass would do...
+    const SweepCacheGcStats dry =
+        sweepCacheGc(dir, 0, 8 * 3600, /*dry_run=*/true);
+    EXPECT_EQ(dry.scanned, 2u);
+    EXPECT_EQ(dry.evicted, 1u);
+    EXPECT_GT(dry.bytesFreed, 0u);
+    // ...but removes nothing.
+    EXPECT_TRUE(cache.lookup(a).has_value());
+    EXPECT_TRUE(cache.lookup(b).has_value());
+
+    // The real pass then matches the dry run's accounting.
+    const SweepCacheGcStats wet = sweepCacheGc(dir, 0, 8 * 3600);
+    EXPECT_EQ(wet.evicted, dry.evicted);
+    EXPECT_EQ(wet.bytesFreed, dry.bytesFreed);
+    EXPECT_EQ(wet.bytesKept, dry.bytesKept);
+    EXPECT_FALSE(cache.lookup(a).has_value());
+    EXPECT_TRUE(cache.lookup(b).has_value());
 }
 
 TEST(SweepCacheGc, NeverTouchesQuarantineOrInFlightTemporaries)

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/error.hh"
 #include "trace/generator.hh"
 #include "trace/trace_file.hh"
 
@@ -103,19 +104,72 @@ TEST_F(TraceFileTest, RewindRestarts)
     EXPECT_EQ(reader.next().vaddr, 0xabc000u);
 }
 
-TEST_F(TraceFileTest, RejectsGarbageFile)
+TEST_F(TraceFileTest, RejectsGarbageFileNamingThePath)
 {
     {
         std::ofstream out(path, std::ios::binary);
-        out << "this is not a trace";
+        out << "this is not a trace, but it is long enough that the"
+               " 16-byte header check passes and the magic fails";
     }
-    EXPECT_DEATH_IF_SUPPORTED({ TraceFileReader reader(path); }, "");
+    try {
+        TraceFileReader reader(path);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &error) {
+        EXPECT_NE(std::string(error.what()).find(path),
+                  std::string::npos)
+            << error.what();
+    }
 }
 
 TEST_F(TraceFileTest, RejectsMissingFile)
 {
-    EXPECT_DEATH_IF_SUPPORTED(
-        { TraceFileReader reader("/nonexistent/trace.pomt"); }, "");
+    EXPECT_THROW(TraceFileReader reader("/nonexistent/trace.pomt"),
+                 TraceError);
+}
+
+TEST_F(TraceFileTest, RejectsShortFileReportingSizes)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "POMT"; // magic only, header cut short
+    }
+    try {
+        TraceFileReader reader(path);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_NE(what.find("4 bytes"), std::string::npos) << what;
+    }
+}
+
+TEST_F(TraceFileTest, RejectsTruncatedBodyReportingSizes)
+{
+    {
+        TraceFileWriter writer(path);
+        for (int i = 0; i < 8; ++i)
+            writer.append(TraceRecord{});
+    }
+    // Chop the last record in half; the header still claims 8.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes.resize(bytes.size() - 6);
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << bytes;
+
+    try {
+        TraceFileReader reader(path);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_NE(what.find("8 records"), std::string::npos) << what;
+        EXPECT_NE(what.find(std::to_string(bytes.size())),
+                  std::string::npos)
+            << what;
+    }
 }
 
 TEST_F(TraceFileTest, RecordTraceHelper)

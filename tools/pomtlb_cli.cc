@@ -19,6 +19,13 @@
  *                              pomtlb-serve-v1 events on stdout)
  *   cache-gc                   evict sweep-cache entries by age
  *                              and/or total size
+ *   trace                      trace-pack front end: `trace pack`
+ *                              builds a pomtlb-tracepack-v1 file
+ *                              from legacy/text traces or from
+ *                              generator output, `trace info`
+ *                              describes one, `trace cat` dumps
+ *                              records as pomtlb-tracetext-v1
+ *                              (docs/trace-format.md)
  *   record-trace               dump a synthetic trace to a file
  *   replay-trace               drive a machine from trace files
  *
@@ -78,6 +85,15 @@
  *                              (0 = no size limit)
  *   --max-age SECONDS          evict entries older than this
  *                              (0 = no age limit)
+ *   --dry-run                  report what the eviction would
+ *                              delete without removing anything
+ *
+ * trace options (see docs/trace-format.md for the full grammar):
+ *   trace pack --out PACK [--in FILE]...
+ *              [--benchmark B --cores N [--count C] [--seed S]]
+ *              [--chunk-records N] [--stream-names a,b,...]
+ *   trace info PACK [--json]
+ *   trace cat PACK [--stream NAME] [--limit N]
  *
  * serve options:
  *   --in FILE                  read requests from FILE (a FIFO
@@ -114,6 +130,13 @@
  *                              and write it to FILE as JSONL
  *                              (run only; POMTLB_TRACE_SAMPLE sets
  *                              the 1-in-N interval, default 64)
+ *   --trace-in PACK            replay a pomtlb-tracepack-v1 file
+ *                              instead of the synthetic generator:
+ *                              core c takes stream c mod
+ *                              stream_count (run and scenario)
+ *   --trace-record PACK        scenario only: record the compiled
+ *                              tenant streams to PACK (one stream
+ *                              per vCPU) before running
  *
  * record-trace options:
  *   --benchmark NAME --core N --count N --out FILE
@@ -147,9 +170,11 @@
 #include "sim/sweep_cache.hh"
 #include "sim/sweep_serve.hh"
 #include "sim/translation_trace.hh"
+#include "trace/error.hh"
 #include "trace/generator.hh"
 #include "trace/source.hh"
 #include "trace/trace_file.hh"
+#include "trace/tracepack.hh"
 
 namespace
 {
@@ -186,6 +211,10 @@ struct CliOptions
     // replay-trace
     std::vector<std::string> tracePaths;
 
+    // trace-pack replay and recording (run / scenario)
+    std::string tracePackIn;
+    std::string tracePackRecord;
+
     // sweep
     unsigned jobs = 0; // 0 = all hardware threads
     std::string benchmarksList;
@@ -211,6 +240,7 @@ struct CliOptions
     // cache-gc
     std::uint64_t maxBytes = 0;
     std::uint64_t maxAgeSeconds = 0;
+    bool dryRun = false;
 };
 
 [[noreturn]] void
@@ -219,9 +249,9 @@ usage()
     std::fprintf(
         stderr,
         "usage: pomtlb <list|list-schemes|show-config|run|compare|"
-        "sweep|scenario|serve|cache-gc|record-trace|replay-trace> "
-        "[options]\n  see the header of tools/pomtlb_cli.cc or the "
-        "README for the option list\n");
+        "sweep|scenario|serve|cache-gc|trace|record-trace|"
+        "replay-trace> [options]\n  see the header of "
+        "tools/pomtlb_cli.cc or the README for the option list\n");
     std::exit(2);
 }
 
@@ -309,6 +339,10 @@ parseOptions(int argc, char **argv, int first)
         }
         else if (arg == "--trace")
             options.tracePaths.push_back(next());
+        else if (arg == "--trace-in")
+            options.tracePackIn = next();
+        else if (arg == "--trace-record")
+            options.tracePackRecord = next();
         else if (arg == "--jobs")
             options.jobs = static_cast<unsigned>(parseNumber(next()));
         else if (arg == "--benchmarks")
@@ -345,6 +379,8 @@ parseOptions(int argc, char **argv, int first)
             options.maxBytes = parseNumber(next());
         else if (arg == "--max-age")
             options.maxAgeSeconds = parseNumber(next());
+        else if (arg == "--dry-run")
+            options.dryRun = true;
         else
             usage();
     }
@@ -496,7 +532,8 @@ commandRun(const CliOptions &options)
 {
     const BenchmarkProfile &profile =
         ProfileRegistry::byName(options.benchmark);
-    const ExperimentConfig config = configFrom(options);
+    ExperimentConfig config = configFrom(options);
+    config.engine.tracePackPath = options.tracePackIn;
     const std::string &scheme = schemeFromName(options.scheme);
 
     Machine machine(config.system, scheme);
@@ -506,6 +543,9 @@ commandRun(const CliOptions &options)
     const RunResult result = engine.run();
 
     std::printf("benchmark             : %s\n", profile.name.c_str());
+    if (!config.engine.tracePackPath.empty())
+        std::printf("trace pack            : %s\n",
+                    config.engine.tracePackPath.c_str());
     std::printf("scheme                : %s\n", scheme.c_str());
     std::printf("mode                  : %s\n",
                 execModeName(config.system.mode));
@@ -765,6 +805,27 @@ commandScenario(const CliOptions &options)
         std::fprintf(stderr, "--tenants needs at least one count\n");
         return 2;
     }
+    if (!options.tracePackIn.empty()) {
+        for (ScenarioSpec &spec : specs)
+            spec.withTracePack(options.tracePackIn);
+    }
+    if (!options.tracePackRecord.empty()) {
+        // Record the compiled tenant streams of the first scenario
+        // (one pack stream per vCPU) on a throwaway machine, then
+        // run the campaign as usual.
+        if (specs.size() > 1) {
+            std::fprintf(stderr, "--trace-record records the first "
+                                 "of %zu scenarios\n",
+                         specs.size());
+        }
+        const ScenarioSpec &spec = specs.front();
+        Machine machine(spec.system, spec.scheme);
+        ScenarioEngine engine(machine, spec);
+        engine.recordPack(options.tracePackRecord);
+        std::printf("recorded tenant streams of '%s' to %s\n",
+                    spec.name.c_str(),
+                    options.tracePackRecord.c_str());
+    }
 
     ScenarioCampaignOptions campaign;
     campaign.cacheDir = options.cacheDir;
@@ -866,12 +927,22 @@ commandCacheGc(const CliOptions &options)
         return 2;
     }
     const SweepCacheGcStats stats = sweepCacheGc(
-        options.cacheDir, options.maxBytes, options.maxAgeSeconds);
-    std::printf("cache-gc: scanned=%zu evicted=%zu "
-                "bytes_freed=%llu bytes_kept=%llu\n",
-                stats.scanned, stats.evicted,
-                static_cast<unsigned long long>(stats.bytesFreed),
-                static_cast<unsigned long long>(stats.bytesKept));
+        options.cacheDir, options.maxBytes, options.maxAgeSeconds,
+        options.dryRun);
+    if (options.dryRun) {
+        std::printf("cache-gc (dry run): scanned=%zu "
+                    "would_evict=%zu bytes_would_free=%llu "
+                    "bytes_kept=%llu\n",
+                    stats.scanned, stats.evicted,
+                    static_cast<unsigned long long>(stats.bytesFreed),
+                    static_cast<unsigned long long>(stats.bytesKept));
+    } else {
+        std::printf("cache-gc: scanned=%zu evicted=%zu "
+                    "bytes_freed=%llu bytes_kept=%llu\n",
+                    stats.scanned, stats.evicted,
+                    static_cast<unsigned long long>(stats.bytesFreed),
+                    static_cast<unsigned long long>(stats.bytesKept));
+    }
     return 0;
 }
 
@@ -965,6 +1036,294 @@ commandRecordTrace(const CliOptions &options)
     return 0;
 }
 
+/** True when @p path starts with the legacy `POMT` trace magic. */
+bool
+hasLegacyTraceMagic(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    return in.gcount() == sizeof(magic) &&
+           std::memcmp(magic, "POMT", 4) == 0;
+}
+
+[[noreturn]] void
+traceUsage()
+{
+    std::fprintf(
+        stderr,
+        "usage: pomtlb trace pack --out PACK [--in FILE]...\n"
+        "                        [--benchmark B --cores N "
+        "[--count C] [--seed S]]\n"
+        "                        [--chunk-records N] "
+        "[--stream-names a,b,...]\n"
+        "       pomtlb trace info PACK [--json]\n"
+        "       pomtlb trace cat PACK [--stream NAME] "
+        "[--limit N]\n  see docs/trace-format.md\n");
+    std::exit(2);
+}
+
+/**
+ * `pomtlb trace pack`: build a pomtlb-tracepack-v1 file, either by
+ * converting legacy POMT / pomtlb-tracetext-v1 inputs (one stream
+ * per `--in` file, auto-detected by magic) or by capturing
+ * generator output (`--benchmark`; one stream per core, seeded
+ * exactly like `pomtlb run`, so `run --trace-in` replays it
+ * byte-identically).
+ */
+int
+commandTracePack(int argc, char **argv)
+{
+    std::string outPath;
+    std::vector<std::string> inputs;
+    std::string benchmark;
+    unsigned cores = 0;
+    std::uint64_t count = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t chunkRecords = 4096;
+    std::string streamNamesList;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out")
+            outPath = next();
+        else if (arg == "--in")
+            inputs.push_back(next());
+        else if (arg == "--benchmark")
+            benchmark = next();
+        else if (arg == "--cores")
+            cores = static_cast<unsigned>(parseNumber(next()));
+        else if (arg == "--count")
+            count = parseNumber(next());
+        else if (arg == "--seed")
+            seed = parseNumber(next());
+        else if (arg == "--chunk-records")
+            chunkRecords = parseNumber(next());
+        else if (arg == "--stream-names")
+            streamNamesList = next();
+        else
+            traceUsage();
+    }
+    if (outPath.empty() || chunkRecords == 0)
+        traceUsage();
+    if (inputs.empty() == benchmark.empty()) {
+        std::fprintf(stderr, "trace pack needs either --in files or "
+                             "a --benchmark to capture\n");
+        return 2;
+    }
+
+    const std::size_t streamCount =
+        inputs.empty() ? (cores ? cores : 1) : inputs.size();
+    std::vector<std::string> names = splitList(streamNamesList);
+    if (!names.empty() && names.size() != streamCount) {
+        std::fprintf(stderr,
+                     "--stream-names gives %zu names for %zu "
+                     "streams\n",
+                     names.size(), streamCount);
+        return 2;
+    }
+    if (names.empty()) {
+        for (std::size_t i = 0; i < streamCount; ++i)
+            names.push_back("core" + std::to_string(i));
+    }
+
+    TracePackWriter writer(outPath, names, chunkRecords);
+    if (!inputs.empty()) {
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const std::string &input = inputs[i];
+            const std::uint32_t stream =
+                static_cast<std::uint32_t>(i);
+            const auto sink = [&](const TraceRecord *records,
+                                  std::size_t n) {
+                writer.append(stream, records, n);
+            };
+            const std::uint64_t records =
+                hasLegacyTraceMagic(input)
+                    ? scanLegacyTrace(input, sink)
+                    : scanTextTrace(input, sink);
+            std::printf("  %s: %llu records -> stream '%s'\n",
+                        input.c_str(),
+                        static_cast<unsigned long long>(records),
+                        names[i].c_str());
+        }
+    } else {
+        // Capture the exact streams a generator-driven run issues:
+        // same combined seed, one stream per core, warmup + measured
+        // length by default.
+        const BenchmarkProfile &profile =
+            ProfileRegistry::byName(benchmark);
+        const ExperimentConfig defaults = defaultExperimentConfig();
+        const std::uint64_t engineSeed =
+            seed ? seed : defaults.engine.seed;
+        const std::uint64_t combined =
+            engineSeed ^ defaults.system.seed;
+        const std::uint64_t perStream =
+            count ? count
+                  : defaults.engine.warmupRefsPerCore +
+                        defaults.engine.refsPerCore;
+        std::vector<TraceRecord> block(4096);
+        for (std::size_t stream = 0; stream < streamCount;
+             ++stream) {
+            GeneratorSource source(profile,
+                                   static_cast<unsigned>(stream),
+                                   combined);
+            std::uint64_t left = perStream;
+            while (left > 0) {
+                const std::size_t want =
+                    static_cast<std::size_t>(std::min<std::uint64_t>(
+                        block.size(), left));
+                const std::size_t got =
+                    source.fill(block.data(), want);
+                writer.append(static_cast<std::uint32_t>(stream),
+                              block.data(), got);
+                left -= got;
+            }
+        }
+    }
+    writer.close();
+    std::printf("wrote %llu records in %zu stream(s) to %s "
+                "(content hash %s)\n",
+                static_cast<unsigned long long>(writer.recordCount()),
+                streamCount, outPath.c_str(),
+                writer.contentHash().c_str());
+    return 0;
+}
+
+/** `pomtlb trace info`: describe a pack (human table or JSON). */
+int
+commandTraceInfo(const std::string &path, bool json)
+{
+    const JsonValue info = tracePackInfoJson(path);
+    if (json) {
+        info.write(std::cout);
+        std::printf("\n");
+        return 0;
+    }
+    std::printf("schema        : %s\n",
+                info.at("schema").asString().c_str());
+    std::printf("path          : %s\n",
+                info.at("path").asString().c_str());
+    std::printf("file bytes    : %llu\n",
+                static_cast<unsigned long long>(
+                    info.at("file_bytes").asUint()));
+    std::printf("records       : %llu in %llu chunk(s) of %llu\n",
+                static_cast<unsigned long long>(
+                    info.at("records").asUint()),
+                static_cast<unsigned long long>(
+                    info.at("chunks").asUint()),
+                static_cast<unsigned long long>(
+                    info.at("chunk_records").asUint()));
+    std::printf("content hash  : %s\n",
+                info.at("content_hash").asString().c_str());
+    std::printf("finalized     : %s\n",
+                info.at("finalized").asBool() ? "yes"
+                                              : "no (recovered)");
+    for (const JsonValue &stream :
+         info.at("streams").elements()) {
+        std::printf("  stream '%s': %llu records, %llu chunk(s)\n",
+                    stream.at("name").asString().c_str(),
+                    static_cast<unsigned long long>(
+                        stream.at("records").asUint()),
+                    static_cast<unsigned long long>(
+                        stream.at("chunks").asUint()));
+    }
+    return 0;
+}
+
+/** `pomtlb trace cat`: dump records as pomtlb-tracetext-v1. */
+int
+commandTraceCat(const std::string &path,
+                const std::string &streamName, std::uint64_t limit)
+{
+    TracePackReader reader(path);
+    std::vector<std::size_t> streams;
+    if (!streamName.empty()) {
+        const int index = reader.streamIndex(streamName);
+        if (index < 0) {
+            std::fprintf(stderr, "no stream '%s' in %s\n",
+                         streamName.c_str(), path.c_str());
+            return 2;
+        }
+        streams.push_back(static_cast<std::size_t>(index));
+    } else {
+        for (std::size_t i = 0; i < reader.streamCount(); ++i)
+            streams.push_back(i);
+    }
+    std::printf("# pomtlb-tracetext-v1\n");
+    std::vector<TraceRecord> block(1024);
+    for (const std::size_t stream : streams) {
+        std::printf("# stream: %s\n",
+                    reader.stream(stream).name.c_str());
+        const std::uint64_t total = reader.stream(stream).records;
+        const std::uint64_t wanted =
+            limit ? std::min(limit, total) : total;
+        std::uint64_t pos = 0;
+        while (pos < wanted) {
+            const std::size_t got = reader.read(
+                stream, pos, block.data(),
+                static_cast<std::size_t>(std::min<std::uint64_t>(
+                    block.size(), wanted - pos)));
+            for (std::size_t i = 0; i < got; ++i)
+                std::printf("%s\n",
+                            formatTextRecord(block[i]).c_str());
+            pos += got;
+        }
+    }
+    return 0;
+}
+
+/** Dispatch `pomtlb trace <pack|info|cat>`. */
+int
+commandTrace(int argc, char **argv)
+{
+    if (argc < 3)
+        traceUsage();
+    const std::string sub = argv[2];
+    if (sub == "pack")
+        return commandTracePack(argc, argv);
+
+    // info / cat take a positional pack path plus a few flags.
+    std::string path;
+    bool json = false;
+    std::string streamName;
+    std::uint64_t limit = 0;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json = true;
+        else if (arg == "--stream")
+            streamName = next();
+        else if (arg == "--limit")
+            limit = parseNumber(next());
+        else if (!arg.empty() && arg[0] != '-' && path.empty())
+            path = arg;
+        else
+            traceUsage();
+    }
+    if (path.empty())
+        traceUsage();
+    if (sub == "info")
+        return commandTraceInfo(path, json);
+    if (sub == "cat")
+        return commandTraceCat(path, streamName, limit);
+    traceUsage();
+}
+
 } // namespace
 
 int
@@ -973,29 +1332,39 @@ main(int argc, char **argv)
     if (argc < 2)
         usage();
     const std::string command = argv[1];
-    const CliOptions options = parseOptions(argc, argv, 2);
+    // Malformed trace input (bad pack, torn file, bad text line) is
+    // an expected operator error, not a bug: report the path-named
+    // message and exit 1 instead of crashing.
+    try {
+        if (command == "trace")
+            return commandTrace(argc, argv);
+        const CliOptions options = parseOptions(argc, argv, 2);
 
-    if (command == "list")
-        return commandList();
-    if (command == "list-schemes")
-        return commandListSchemes();
-    if (command == "show-config")
-        return commandShowConfig();
-    if (command == "run")
-        return commandRun(options);
-    if (command == "compare")
-        return commandCompare(options);
-    if (command == "sweep")
-        return commandSweep(options);
-    if (command == "scenario")
-        return commandScenario(options);
-    if (command == "serve")
-        return commandServe(options);
-    if (command == "cache-gc")
-        return commandCacheGc(options);
-    if (command == "record-trace")
-        return commandRecordTrace(options);
-    if (command == "replay-trace")
-        return commandReplayTrace(options);
+        if (command == "list")
+            return commandList();
+        if (command == "list-schemes")
+            return commandListSchemes();
+        if (command == "show-config")
+            return commandShowConfig();
+        if (command == "run")
+            return commandRun(options);
+        if (command == "compare")
+            return commandCompare(options);
+        if (command == "sweep")
+            return commandSweep(options);
+        if (command == "scenario")
+            return commandScenario(options);
+        if (command == "serve")
+            return commandServe(options);
+        if (command == "cache-gc")
+            return commandCacheGc(options);
+        if (command == "record-trace")
+            return commandRecordTrace(options);
+        if (command == "replay-trace")
+            return commandReplayTrace(options);
+    } catch (const TraceError &error) {
+        std::fprintf(stderr, "pomtlb: %s\n", error.what());
+        return 1;
+    }
     usage();
 }
