@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "common/setscan.hh"
 
 namespace pomtlb
 {
@@ -70,14 +71,13 @@ SetAssocCache::findLine(Addr addr) const
 {
     const std::uint64_t tag = tagOf(addr);
     const std::uint64_t base = setIndex(addr) * ways;
-    // One compare per way over a contiguous 64-bit array: invalid
-    // ways hold the sentinel, which never equals a real tag.
-    const std::uint64_t *set_tags = tags.data() + base;
-    for (unsigned way = 0; way < ways; ++way) {
-        if (set_tags[way] == tag)
-            return static_cast<std::int64_t>(base + way);
-    }
-    return -1;
+    // One vector-friendly compare pass over a contiguous 64-bit
+    // array: invalid ways hold the sentinel, which never equals a
+    // real tag.
+    const unsigned way = findKeyWay(tags.data() + base, ways, tag);
+    if (way == ways)
+        return -1;
+    return static_cast<std::int64_t>(base + way);
 }
 
 CacheLookupResult
@@ -123,34 +123,18 @@ SetAssocCache::fill(Addr addr, LineKind kind, bool dirty)
     const std::uint64_t set = setIndex(addr);
     const std::uint64_t base = set * ways;
 
-    // One pass over the set's tags finds the resident line (at most
-    // one way can match), the first free way, AND — for the default
-    // inline-LRU policy — the LRU victim, so the common steady-state
-    // fill (miss, set full) scans the set exactly once with no
-    // separate victimWay() pass. The running minimum is only consumed
-    // when no free way exists and no line matched, in which case the
-    // loop visited every way and the strict '<' comparison picks the
-    // lowest way among stamp ties — exactly victimWay()'s inline scan.
-    const bool inline_lru =
-        tlbPolicy == TlbLinePolicy::None && !policy;
+    // Fixed-trip scans over the set's contiguous tag lane find the
+    // resident line (at most one way can match) and the first free
+    // way; only when both miss does the inline-LRU min scan run
+    // (common/setscan.hh). Each pass vectorizes — the old merged
+    // early-exit loop could not — and the free/victim results are
+    // consumed exactly when the scalar loop consumed them, so the
+    // victims match bit-for-bit (the lowest way wins every tie).
     const std::uint64_t tag = tagOf(addr);
-    std::int64_t resident = -1;
-    unsigned target = ways;
-    unsigned min_way = 0;
-    std::uint64_t min_stamp = ~std::uint64_t{0};
-    for (unsigned way = 0; way < ways; ++way) {
-        const std::uint64_t way_tag = tags[base + way];
-        if (way_tag == tag) {
-            resident = static_cast<std::int64_t>(base + way);
-            break;
-        }
-        if (target == ways && way_tag == invalidTag)
-            target = way;
-        if (inline_lru && stamps[base + way] < min_stamp) {
-            min_stamp = stamps[base + way];
-            min_way = way;
-        }
-    }
+    const std::uint64_t *set_tags = tags.data() + base;
+    const unsigned match = findKeyWay(set_tags, ways, tag);
+    const std::int64_t resident =
+        match == ways ? -1 : static_cast<std::int64_t>(base + match);
 
     // Refresh in place when the line is already resident (e.g. two
     // outstanding misses to the same line resolved back to back).
@@ -169,8 +153,13 @@ SetAssocCache::fill(Addr addr, LineKind kind, bool dirty)
         return result;
     }
 
+    unsigned target = findKeyWay(set_tags, ways, invalidTag);
     if (target == ways) {
-        target = inline_lru ? min_way : victimWay(set, kind);
+        const bool inline_lru =
+            tlbPolicy == TlbLinePolicy::None && !policy;
+        target = inline_lru
+                     ? minStampWay(stamps.data() + base, ways)
+                     : victimWay(set, kind);
         const std::uint64_t victim = base + target;
         result.evicted = true;
         result.victimAddr = lineAddr(set, tags[victim]);
@@ -207,42 +196,19 @@ SetAssocCache::victimWay(std::uint64_t set, LineKind)
             return policy->victim(set);
         // Inline LRU: oldest stamp wins, lowest way on ties —
         // exactly LruPolicy::victim over lockstep-updated stamps.
-        unsigned best = 0;
-        std::uint64_t best_stamp = stamps[base];
-        for (unsigned way = 1; way < ways; ++way) {
-            if (stamps[base + way] < best_stamp) {
-                best_stamp = stamps[base + way];
-                best = way;
-            }
-        }
-        return best;
+        return minStampWay(stamps.data() + base, ways);
     }
 
     // Section 5.1: retain TLB lines — evict the least-recently-used
     // *data* line when one exists; fall back to overall LRU when the
     // set holds nothing but TLB lines.
-    unsigned best = ways;
-    std::uint64_t best_stamp = ~std::uint64_t{0};
-    for (unsigned way = 0; way < ways; ++way) {
-        if (!(meta[base + way] & metaTlb) &&
-            stamps[base + way] < best_stamp) {
-            best_stamp = stamps[base + way];
-            best = way;
-        }
-    }
+    const unsigned best = minStampWayMasked(
+        stamps.data() + base, meta.data() + base, metaTlb, ways);
     if (best != ways)
         return best;
     if (policy)
         return policy->victim(set);
-    best = 0;
-    best_stamp = stamps[base];
-    for (unsigned way = 1; way < ways; ++way) {
-        if (stamps[base + way] < best_stamp) {
-            best_stamp = stamps[base + way];
-            best = way;
-        }
-    }
-    return best;
+    return minStampWay(stamps.data() + base, ways);
 }
 
 bool

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Branch-free scan primitives for set-associative lookups.
+ *
+ * The per-reference hot paths of the data caches and SRAM TLBs all
+ * reduce to two scans over one set's contiguous 64-bit lanes: "which
+ * way holds this key?" and "which way holds the oldest stamp?". The
+ * classic early-exit loops defeat auto-vectorization (a data-
+ * dependent break forbids reading the remaining ways), so these
+ * helpers express both questions as fixed-trip-count passes over the
+ * whole set — a compare-into-bitmask reduction and a min reduction —
+ * which GCC and Clang turn into SIMD compares at any register width
+ * without intrinsics. Associativities are small (4–16 ways), so the
+ * extra lanes an early exit would have skipped are already in the
+ * cache line the scan touched anyway.
+ *
+ * Every helper preserves the exact tie-break discipline of the loops
+ * it replaces: the *lowest* matching way wins, and the lowest way
+ * among minimum-stamp ties wins (the strict '<' running-minimum
+ * idiom). Results are bit-identical to the scalar scans; the golden
+ * fixtures in tests/golden/ pin that equivalence.
+ */
+
+#ifndef POMTLB_COMMON_SETSCAN_HH
+#define POMTLB_COMMON_SETSCAN_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace pomtlb
+{
+
+/**
+ * Bitmask of the ways in @p keys[0..ways) equal to @p key (bit w set
+ * iff way w matches). Compares every way unconditionally — a
+ * reduction the vectorizer maps onto SIMD compares. Associativity
+ * must be at most 64 (one bitmask lane per way).
+ */
+inline std::uint64_t
+findKeyMask(const std::uint64_t *keys, unsigned ways,
+            std::uint64_t key)
+{
+    std::uint64_t mask = 0;
+    for (unsigned way = 0; way < ways; ++way) {
+        mask |= static_cast<std::uint64_t>(keys[way] == key)
+                << way;
+    }
+    return mask;
+}
+
+/**
+ * First way in @p keys[0..ways) equal to @p key, or @p ways when no
+ * way matches.
+ */
+inline unsigned
+findKeyWay(const std::uint64_t *keys, unsigned ways,
+           std::uint64_t key)
+{
+    const std::uint64_t mask = findKeyMask(keys, ways, key);
+    if (mask == 0)
+        return ways;
+    return static_cast<unsigned>(std::countr_zero(mask));
+}
+
+/**
+ * Lowest way holding the minimum of @p stamps[0..ways) — the inline-
+ * LRU victim. @p ways must be at least 1.
+ */
+inline unsigned
+minStampWay(const std::uint64_t *stamps, unsigned ways)
+{
+    // Two fixed-trip passes: a plain min reduction (vectorizable),
+    // then the first way carrying that minimum. Taking the first
+    // occurrence reproduces the strict-'<' running minimum's
+    // lowest-way tie-break exactly.
+    std::uint64_t lowest = stamps[0];
+    for (unsigned way = 1; way < ways; ++way)
+        lowest = stamps[way] < lowest ? stamps[way] : lowest;
+    unsigned way = 0;
+    while (stamps[way] != lowest)
+        ++way;
+    return way;
+}
+
+/**
+ * Lowest way holding the minimum stamp among ways whose @p meta byte
+ * has none of @p excluded_bits set, or @p ways when every eligible
+ * way's stamp is the all-ones sentinel (or none is eligible). Used
+ * by the RetainTlb victim policy: excluded ways are treated as if
+ * they held an untouchable all-ones stamp, which matches the scalar
+ * loop's behaviour (strict '<' against an all-ones initial best
+ * never selects an all-ones stamp).
+ */
+inline unsigned
+minStampWayMasked(const std::uint64_t *stamps,
+                  const std::uint8_t *meta,
+                  std::uint8_t excluded_bits, unsigned ways)
+{
+    constexpr std::uint64_t untouchable = ~std::uint64_t{0};
+    std::uint64_t lowest = untouchable;
+    for (unsigned way = 0; way < ways; ++way) {
+        const std::uint64_t masked =
+            (meta[way] & excluded_bits) ? untouchable : stamps[way];
+        lowest = masked < lowest ? masked : lowest;
+    }
+    if (lowest == untouchable)
+        return ways;
+    unsigned way = 0;
+    while ((meta[way] & excluded_bits) || stamps[way] != lowest)
+        ++way;
+    return way;
+}
+
+} // namespace pomtlb
+
+#endif // POMTLB_COMMON_SETSCAN_HH

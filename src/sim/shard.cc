@@ -1,0 +1,93 @@
+#include "sim/shard.hh"
+
+namespace pomtlb
+{
+
+ShardPool::ShardPool(unsigned threads)
+{
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ShardPool::~ShardPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ShardPool::forEach(std::size_t count,
+                   const std::function<void(std::size_t)> &job_ref)
+{
+    if (count == 0)
+        return;
+    if (workers.empty()) {
+        for (std::size_t index = 0; index < count; ++index)
+            job_ref(index);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex);
+    job = &job_ref;
+    total = count;
+    nextIndex = 0;
+    pending = count;
+    firstError = nullptr;
+    ++generation;
+    lock.unlock();
+    wake.notify_all();
+
+    lock.lock();
+    done.wait(lock, [this] { return pending == 0; });
+    job = nullptr;
+    if (firstError) {
+        std::exception_ptr error = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ShardPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        wake.wait(lock, [&] {
+            return stopping || generation != seen_generation;
+        });
+        if (stopping)
+            return;
+        seen_generation = generation;
+
+        // Drain the batch: claim one index at a time under the lock,
+        // run it unlocked. The per-index lock round-trip is noise
+        // next to the work each index does (a whole lane's trace
+        // scan or block fill), and it gives the happens-before edge
+        // the barrier contract promises.
+        while (nextIndex < total) {
+            const std::size_t index = nextIndex++;
+            const std::function<void(std::size_t)> *batch = job;
+            lock.unlock();
+            try {
+                (*batch)(index);
+            } catch (...) {
+                lock.lock();
+                if (!firstError)
+                    firstError = std::current_exception();
+                lock.unlock();
+            }
+            lock.lock();
+            if (--pending == 0)
+                done.notify_all();
+        }
+    }
+}
+
+} // namespace pomtlb

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The worker-thread pool behind intra-run sharding.
+ *
+ * A sharded run (EngineConfig::runThreads > 0) splits every phase of
+ * simulation into two kinds of work. Order-independent, core-private
+ * work — trace generation, stream capture, pre-population page
+ * scanning, block prefill — is partitioned over the pool's worker
+ * threads; each index of a forEach() batch touches only its own
+ * lane's state, so the partition cannot affect results. Everything
+ * that couples cores through shared machine state (cache and DRAM
+ * transitions, POM-TLB fills, shootdown broadcasts, stat deltas) is
+ * applied by the coordinating thread in exact (clock, core) order
+ * between batches. The pool is therefore a pure throughput device:
+ * results are bit-identical for every thread count, which is what
+ * lets the sweep cache exclude the thread count from job identity
+ * (docs/internals.md §14).
+ *
+ * forEach() is a full barrier: it returns only when every index has
+ * run, and the completed work happens-before the return (so the
+ * coordinator may freely read what the workers wrote, and vice
+ * versa for the next batch). Worker exceptions are captured and the
+ * first one rethrown on the coordinating thread.
+ */
+
+#ifndef POMTLB_SIM_SHARD_HH
+#define POMTLB_SIM_SHARD_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pomtlb
+{
+
+/** Fixed pool of worker threads running order-free index batches. */
+class ShardPool
+{
+  public:
+    /**
+     * Spawn @p threads persistent workers. 0 is allowed and spawns
+     * nothing: forEach() then runs every index inline, which keeps
+     * one code path for the serial fallback.
+     */
+    explicit ShardPool(unsigned threads);
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    /** Worker threads in the pool. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Run @p job(index) for every index in [0, @p count), spread
+     * over the workers, and wait for all of them. Indices are handed
+     * out dynamically, so the assignment of index to thread is
+     * nondeterministic — callers must only submit jobs whose indices
+     * touch disjoint state. Not reentrant: a job must not call
+     * forEach() on its own pool.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &job);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::mutex mutex;
+    /** Wakes workers for a new batch (or shutdown). */
+    std::condition_variable wake;
+    /** Wakes the coordinator when a batch completes. */
+    std::condition_variable done;
+    /** Batch sequence number; bumping it publishes a new batch. */
+    std::uint64_t generation = 0;
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t total = 0;
+    /** Next unclaimed index of the current batch. */
+    std::size_t nextIndex = 0;
+    /** Indices of the current batch still running or unclaimed. */
+    std::size_t pending = 0;
+    /** First exception thrown by a worker job this batch. */
+    std::exception_ptr firstError;
+    bool stopping = false;
+};
+
+} // namespace pomtlb
+
+#endif // POMTLB_SIM_SHARD_HH

@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/log.hh"
+#include "common/setscan.hh"
 
 namespace pomtlb
 {
@@ -12,6 +13,7 @@ SetAssocTlb::SetAssocTlb(const TlbConfig &config,
       sets(config.numSets()),
       ways(config.associativity),
       entries(config.entries),
+      keys(config.entries, 0),
       stamps(config.entries, 0),
       statGroup(config.name)
 {
@@ -38,17 +40,36 @@ SetAssocTlb::setIndex(PageNum vpn, VmId vm) const
     return (vpn ^ vm) & (sets - 1);
 }
 
+unsigned
+SetAssocTlb::matchWay(std::uint64_t set, PageNum vpn, PageSize size,
+                      VmId vm, ProcessId pid) const
+{
+    // SIMD-friendly probe: one compare pass over the set's packed
+    // key lane, then full-field verification of each candidate in
+    // way order (a digest collision must not manufacture a hit, and
+    // the lowest truly-matching way must win).
+    std::uint64_t mask = findKeyMask(keys.data() + set * ways, ways,
+                                     entryKey(vpn, vm, pid, size));
+    const TlbEntry *base = &entries[set * ways];
+    while (mask != 0) {
+        const unsigned way =
+            static_cast<unsigned>(std::countr_zero(mask));
+        if (base[way].matches(vpn, vm, pid, size))
+            return way;
+        mask &= mask - 1;
+    }
+    return ways;
+}
+
 TlbLookupResult
 SetAssocTlb::lookup(PageNum vpn, PageSize size, VmId vm, ProcessId pid)
 {
     const std::uint64_t set = setIndex(vpn, vm);
-    TlbEntry *base = &entries[set * ways];
-    for (unsigned way = 0; way < ways; ++way) {
-        if (base[way].matches(vpn, vm, pid, size)) {
-            touchWay(set, way);
-            ++hitCount;
-            return {true, base[way].pfn};
-        }
+    const unsigned way = matchWay(set, vpn, size, vm, pid);
+    if (way != ways) {
+        touchWay(set, way);
+        ++hitCount;
+        return {true, entries[set * ways + way].pfn};
     }
     ++missCount;
     return {};
@@ -59,12 +80,7 @@ SetAssocTlb::contains(PageNum vpn, PageSize size, VmId vm,
                       ProcessId pid) const
 {
     const std::uint64_t set = setIndex(vpn, vm);
-    const TlbEntry *base = &entries[set * ways];
-    for (unsigned way = 0; way < ways; ++way) {
-        if (base[way].matches(vpn, vm, pid, size))
-            return true;
-    }
-    return false;
+    return matchWay(set, vpn, size, vm, pid) != ways;
 }
 
 void
@@ -72,37 +88,30 @@ SetAssocTlb::insert(PageNum vpn, PageSize size, VmId vm, ProcessId pid,
                     PageNum pfn)
 {
     const std::uint64_t set = setIndex(vpn, vm);
-    TlbEntry *base = &entries[set * ways];
+    const std::uint64_t base_index = set * ways;
+    TlbEntry *base = &entries[base_index];
     ++insertions;
 
-    // One pass finds a matching entry (refresh in place — a duplicate
-    // fill), the first free way, and — for the inlined default LRU —
-    // the oldest-stamp victim. At most one way can match, so merging
-    // the scans changes nothing observable; the running minimum is
-    // only consumed when the loop covered every way (no match, no
-    // free way), and strict '<' keeps victimWay()'s lowest-way
-    // tie-break.
-    const std::uint64_t *set_stamps = stamps.data() + set * ways;
-    const bool inline_lru = !policy;
-    unsigned target = ways;
-    unsigned min_way = 0;
-    std::uint64_t min_stamp = ~std::uint64_t{0};
-    for (unsigned way = 0; way < ways; ++way) {
-        if (base[way].matches(vpn, vm, pid, size)) {
-            base[way].pfn = pfn;
-            touchWay(set, way);
-            return;
-        }
-        if (target == ways && !base[way].valid)
-            target = way;
-        if (inline_lru && set_stamps[way] < min_stamp) {
-            min_stamp = set_stamps[way];
-            min_way = way;
-        }
+    // Vector-friendly fixed-trip scans over the set's packed key
+    // lane (common/setscan.hh) replace the old merged early-exit
+    // loop: a matching entry refreshes in place (a duplicate fill),
+    // else the first free way (key 0) wins, else the inline-LRU
+    // oldest stamp. Each result is consumed exactly when the scalar
+    // loop consumed it and every tie goes to the lowest way, so the
+    // victims — and therefore all downstream state — match
+    // bit-for-bit.
+    const unsigned match = matchWay(set, vpn, size, vm, pid);
+    if (match != ways) {
+        base[match].pfn = pfn;
+        touchWay(set, match);
+        return;
     }
 
+    unsigned target = findKeyWay(keys.data() + base_index, ways, 0);
     if (target == ways) {
-        target = inline_lru ? min_way : victimWay(set);
+        target = policy ? victimWay(set)
+                        : minStampWay(stamps.data() + base_index,
+                                      ways);
         ++evictions;
         --validEntries;
     }
@@ -114,6 +123,7 @@ SetAssocTlb::insert(PageNum vpn, PageSize size, VmId vm, ProcessId pid,
     entry.vpn = vpn;
     entry.pfn = pfn;
     entry.pageSize = size;
+    keys[base_index + target] = entryKey(vpn, vm, pid, size);
     ++validEntries;
     touchWay(set, target);
 }
@@ -123,17 +133,15 @@ SetAssocTlb::invalidatePage(PageNum vpn, PageSize size, VmId vm,
                             ProcessId pid)
 {
     const std::uint64_t set = setIndex(vpn, vm);
-    TlbEntry *base = &entries[set * ways];
-    for (unsigned way = 0; way < ways; ++way) {
-        if (base[way].matches(vpn, vm, pid, size)) {
-            base[way].valid = false;
-            forgetWay(set, way);
-            --validEntries;
-            ++shootdowns;
-            return true;
-        }
-    }
-    return false;
+    const unsigned way = matchWay(set, vpn, size, vm, pid);
+    if (way == ways)
+        return false;
+    entries[set * ways + way].valid = false;
+    keys[set * ways + way] = 0;
+    forgetWay(set, way);
+    --validEntries;
+    ++shootdowns;
+    return true;
 }
 
 std::uint64_t
@@ -145,6 +153,7 @@ SetAssocTlb::invalidateVm(VmId vm)
         for (unsigned way = 0; way < ways; ++way) {
             if (base[way].valid && base[way].vmId == vm) {
                 base[way].valid = false;
+                keys[set * ways + way] = 0;
                 forgetWay(set, way);
                 --validEntries;
                 ++dropped;
@@ -164,6 +173,7 @@ SetAssocTlb::flush()
         for (unsigned way = 0; way < ways; ++way) {
             if (base[way].valid) {
                 base[way].valid = false;
+                keys[set * ways + way] = 0;
                 forgetWay(set, way);
                 ++dropped;
             }

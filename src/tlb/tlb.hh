@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/replacement.hh"
+#include "common/bitutil.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -71,6 +72,33 @@ class SetAssocTlb
   private:
     std::uint64_t setIndex(PageNum vpn, VmId vm) const;
 
+    /**
+     * Packed match key of a valid entry for the SIMD-friendly way
+     * scan: a mixed digest of (vpn, vm, pid, size), forced non-zero
+     * so 0 can stand for an invalid way. The scan compares one
+     * contiguous 64-bit lane per set (common/setscan.hh) and then
+     * verifies candidate ways against the full entry fields, so a
+     * rare digest collision costs a compare, never a wrong hit.
+     */
+    static std::uint64_t
+    entryKey(PageNum vpn, VmId vm, ProcessId pid, PageSize size)
+    {
+        const std::uint64_t packed =
+            vpn ^ (static_cast<std::uint64_t>(vm) << 44) ^
+            (static_cast<std::uint64_t>(pid) << 28) ^
+            (static_cast<std::uint64_t>(
+                 static_cast<unsigned>(size))
+             << 60);
+        return mix64(packed) | 1;
+    }
+
+    /**
+     * First way of @p set fully matching (vpn, vm, pid, size), or
+     * the associativity when none does.
+     */
+    unsigned matchWay(std::uint64_t set, PageNum vpn, PageSize size,
+                      VmId vm, ProcessId pid) const;
+
     /** Note a use of [set, way] in the replacement state. */
     void
     touchWay(std::uint64_t set, unsigned way)
@@ -115,6 +143,8 @@ class SetAssocTlb
     std::uint64_t sets;
     unsigned ways;
     std::vector<TlbEntry> entries;
+    /** Per-way packed match keys (entryKey(); 0 = invalid way). */
+    std::vector<std::uint64_t> keys;
     /**
      * Per-way recency stamps for the inlined default-LRU policy
      * (kept outside TlbEntry, which keeps the paper's 16-byte

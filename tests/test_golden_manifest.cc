@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Staleness guard for the golden fixture set.
+ *
+ * tests/golden/MANIFEST.json records what the checked-in fixtures
+ * were generated against: the stats schema identifier, the scheme
+ * registry's canonical name list, and the fixture files themselves.
+ * This test diffs that record against the live build. The failure
+ * mode it closes: someone registers a new translation scheme (or
+ * bumps `pomtlb-stats-v1`), the parameterised golden tests quietly
+ * instantiate cases whose fixtures do not exist (or compare against
+ * documents of an older shape), and the mismatch surfaces as a
+ * confusing "missing fixture" assert deep in test_engine_golden.cc.
+ * Here it surfaces as one focused failure with the regeneration
+ * command in the message.
+ *
+ * Regenerate (ONLY after an intentional modelling/schema/registry
+ * change — never to paper over an unintentional diff):
+ *
+ *     ./build/tools/gen_golden_fixtures tests/golden
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/scheme_registry.hh"
+#include "sim/stats_export.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+constexpr const char *kRegenHint =
+    "golden fixtures are stale — regenerate with "
+    "`./build/tools/gen_golden_fixtures tests/golden` (only if the "
+    "registry/schema change was intentional)";
+
+std::string
+goldenDir()
+{
+    return std::string(POMTLB_SOURCE_DIR) + "/tests/golden";
+}
+
+JsonValue
+loadManifest()
+{
+    const std::string path = goldenDir() + "/MANIFEST.json";
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing " << path << "; " << kRegenHint;
+    if (!in)
+        return JsonValue::object();
+    std::ostringstream text;
+    text << in.rdbuf();
+    return JsonValue::parse(text.str());
+}
+
+std::vector<std::string>
+stringList(const JsonValue &manifest, const std::string &key)
+{
+    std::vector<std::string> out;
+    if (!manifest.has(key))
+        return out;
+    const JsonValue &list = manifest.at(key);
+    for (std::size_t i = 0; i < list.size(); ++i)
+        out.push_back(list.at(i).asString());
+    return out;
+}
+
+TEST(GoldenManifest, SchemaMatchesTheLiveExport)
+{
+    const JsonValue manifest = loadManifest();
+    ASSERT_TRUE(manifest.has("stats_schema")) << kRegenHint;
+    EXPECT_EQ(manifest.at("stats_schema").asString(),
+              std::string(kStatsSchemaV1))
+        << "fixtures were generated for stats schema '"
+        << manifest.at("stats_schema").asString()
+        << "' but the build exports '" << kStatsSchemaV1 << "'; "
+        << kRegenHint;
+}
+
+TEST(GoldenManifest, SchemeListMatchesTheLiveRegistry)
+{
+    const JsonValue manifest = loadManifest();
+    const std::vector<std::string> recorded =
+        stringList(manifest, "schemes");
+    const std::vector<std::string> live =
+        SchemeRegistry::global().names();
+    EXPECT_EQ(recorded, live)
+        << "fixtures cover a different scheme registry than this "
+           "build registers; "
+        << kRegenHint;
+}
+
+TEST(GoldenManifest, EveryRecordedFixtureExists)
+{
+    const JsonValue manifest = loadManifest();
+    const std::vector<std::string> fixtures =
+        stringList(manifest, "fixtures");
+    EXPECT_FALSE(fixtures.empty()) << kRegenHint;
+    for (const std::string &name : fixtures) {
+        std::ifstream in(goldenDir() + "/" + name,
+                         std::ios::binary);
+        EXPECT_TRUE(in) << "manifest lists fixture '" << name
+                        << "' but the file is missing; "
+                        << kRegenHint;
+    }
+}
+
+TEST(GoldenManifest, CoversTheFullGoldenMatrix)
+{
+    // The manifest's fixture list must span benchmarks × cores ×
+    // every registered scheme — the exact matrix
+    // test_engine_golden.cc instantiates.
+    const JsonValue manifest = loadManifest();
+    const std::vector<std::string> fixtures =
+        stringList(manifest, "fixtures");
+    for (const std::string bench : {"mcf", "gups"}) {
+        for (const unsigned cores : {2u, 4u}) {
+            for (const std::string &scheme :
+                 SchemeRegistry::global().names()) {
+                const std::string name =
+                    "golden_" + bench + "_" + scheme + "_c" +
+                    std::to_string(cores) + ".json";
+                EXPECT_NE(std::find(fixtures.begin(),
+                                    fixtures.end(), name),
+                          fixtures.end())
+                    << "no fixture for " << bench << "/" << scheme
+                    << "/c" << cores << "; " << kRegenHint;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace pomtlb

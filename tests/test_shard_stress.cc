@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Randomized determinism stress for the sharded engine.
+ *
+ * The battery in test_engine_sharded.cc pins a handful of
+ * configurations; this test walks the configuration space at random
+ * — scheme, benchmark, core count, worker-thread count, epoch
+ * length, run length, pre-population on/off — and asserts that each
+ * sharded run's totals and per-core stats equal a fresh serial run
+ * of the same configuration. Epoch lengths are drawn log-uniformly
+ * down to 16 cycles, far below anything sensible, precisely because
+ * pathological barrier cadences are where an ordering bug would
+ * hide.
+ *
+ * The seed is fixed (the sequence of sampled configurations is part
+ * of the test's identity; a failure message names the iteration so
+ * it can be replayed in isolation). POMTLB_SHARD_FUZZ_ITERS
+ * overrides the iteration count — CI's TSan job runs a reduced
+ * count, a soak run can raise it.
+ */
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
+#include "trace/profile.hh"
+
+namespace pomtlb
+{
+namespace
+{
+
+constexpr unsigned kDefaultIters = 200;
+constexpr std::uint64_t kFuzzSeed = 0x706f6d746c620aULL;
+
+unsigned
+iterationCount()
+{
+    const char *env = std::getenv("POMTLB_SHARD_FUZZ_ITERS");
+    if (env == nullptr || *env == '\0')
+        return kDefaultIters;
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<unsigned>(parsed)
+                      : kDefaultIters;
+}
+
+RunResult
+runOnce(const std::string &scheme, const std::string &benchmark,
+        unsigned cores, const EngineConfig &config)
+{
+    SystemConfig system = SystemConfig::table1();
+    system.numCores = cores;
+    Machine machine(system, scheme);
+    SimulationEngine engine(
+        machine, ProfileRegistry::byName(benchmark), config);
+    return engine.run();
+}
+
+void
+expectEqualResults(const RunResult &serial, const RunResult &sharded,
+                   const std::string &what)
+{
+    const RunTotals &a = serial.totals();
+    const RunTotals &b = sharded.totals();
+    EXPECT_EQ(a.refs, b.refs) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.translationCycles, b.translationCycles) << what;
+    EXPECT_EQ(a.l1TlbHits, b.l1TlbHits) << what;
+    EXPECT_EQ(a.l2TlbHits, b.l2TlbHits) << what;
+    EXPECT_EQ(a.lastLevelMisses, b.lastLevelMisses) << what;
+    EXPECT_EQ(a.pageWalks, b.pageWalks) << what;
+    EXPECT_EQ(a.shootdowns, b.shootdowns) << what;
+    EXPECT_EQ(a.avgPenaltyPerMiss, b.avgPenaltyPerMiss) << what;
+    EXPECT_EQ(a.walkFraction, b.walkFraction) << what;
+
+    ASSERT_EQ(serial.cores.size(), sharded.cores.size()) << what;
+    for (std::size_t i = 0; i < serial.cores.size(); ++i) {
+        const CoreRunStats &x = serial.cores[i];
+        const CoreRunStats &y = sharded.cores[i];
+        EXPECT_EQ(x.refs, y.refs) << what << " core " << i;
+        EXPECT_EQ(x.cycles, y.cycles) << what << " core " << i;
+        EXPECT_EQ(x.instructions, y.instructions)
+            << what << " core " << i;
+        EXPECT_EQ(x.translationCycles, y.translationCycles)
+            << what << " core " << i;
+        EXPECT_EQ(x.l1TlbHits, y.l1TlbHits)
+            << what << " core " << i;
+        EXPECT_EQ(x.l2TlbHits, y.l2TlbHits)
+            << what << " core " << i;
+        EXPECT_EQ(x.lastLevelTlbMisses, y.lastLevelTlbMisses)
+            << what << " core " << i;
+        EXPECT_EQ(x.avgPenaltyPerMiss, y.avgPenaltyPerMiss)
+            << what << " core " << i;
+        EXPECT_EQ(x.pageWalks, y.pageWalks)
+            << what << " core " << i;
+        EXPECT_EQ(x.shootdowns, y.shootdowns)
+            << what << " core " << i;
+    }
+}
+
+TEST(ShardStress, RandomConfigurationsMatchSerialExactly)
+{
+    const std::vector<std::string> schemes =
+        SchemeRegistry::global().names();
+    const std::vector<std::string> benchmarks = {"mcf", "gups"};
+    std::mt19937_64 rng(kFuzzSeed);
+    const unsigned iters = iterationCount();
+
+    for (unsigned iter = 0; iter < iters; ++iter) {
+        const std::string &scheme =
+            schemes[rng() % schemes.size()];
+        const std::string &benchmark =
+            benchmarks[rng() % benchmarks.size()];
+        // Power-of-two core counts only: schemes that size shared
+        // structures per core (Shared_L2) require power-of-two sets.
+        const unsigned cores = 1u << (rng() % 3);
+        const unsigned threads = 1 + rng() % 8;
+        // Log-uniform epoch in [16, 16384] cycles.
+        const Cycles epoch = Cycles(16) << (rng() % 11);
+
+        EngineConfig serial;
+        serial.refsPerCore = 200 + rng() % 1200;
+        serial.warmupRefsPerCore = rng() % 600;
+        serial.seed = rng();
+        serial.prepopulate = (rng() % 4) != 0;
+        if (rng() % 4 == 0) {
+            serial.shootdownIntervalRefs = 150 + rng() % 500;
+        }
+
+        EngineConfig sharded = serial;
+        sharded.runThreads = threads;
+        sharded.epochCycles = epoch;
+
+        const std::string what =
+            "iteration " + std::to_string(iter) + ": " + scheme +
+            "/" + benchmark + " cores=" + std::to_string(cores) +
+            " threads=" + std::to_string(threads) + " epoch=" +
+            std::to_string(epoch) +
+            " prepop=" + (serial.prepopulate ? "1" : "0");
+
+        expectEqualResults(
+            runOnce(scheme, benchmark, cores, serial),
+            runOnce(scheme, benchmark, cores, sharded), what);
+        if (HasFailure())
+            FAIL() << "stopping at first divergent " << what;
+    }
+}
+
+} // namespace
+} // namespace pomtlb

@@ -17,9 +17,16 @@
  *     ./build/tools/gen_golden_fixtures tests/golden
  *
  * The golden configuration (mirrored in the test — keep in sync):
- * benchmark mcf and gups, schemes all four, cores {2, 4}, 3000
- * measured + 1500 warmup refs per core, seed 42, SystemConfig::table1
- * with only numCores overridden.
+ * benchmark mcf and gups, every scheme in the registry, cores
+ * {2, 4}, 3000 measured + 1500 warmup refs per core, seed 42,
+ * SystemConfig::table1 with only numCores overridden.
+ *
+ * Alongside the fixtures the generator writes MANIFEST.json
+ * recording the stats schema, the scheme list, and the fixture
+ * names it produced. tests/test_golden_manifest.cc checks that
+ * manifest against the live registry, so registering a new scheme
+ * (or bumping the stats schema) fails loudly with a regeneration
+ * hint instead of silently leaving the new scheme golden-uncovered.
  */
 
 #include <cstdio>
@@ -30,6 +37,7 @@
 #include "common/json.hh"
 #include "sim/engine.hh"
 #include "sim/machine.hh"
+#include "sim/scheme_registry.hh"
 #include "sim/stats_export.hh"
 #include "trace/profile.hh"
 
@@ -85,13 +93,15 @@ main(int argc, char **argv)
 
     const std::vector<std::string> benchmarks = {"mcf", "gups"};
     const std::vector<unsigned> core_counts = {2, 4};
+    const std::vector<std::string> schemes =
+        SchemeRegistry::global().names();
+    std::vector<std::string> fixtures;
 
     for (const std::string &bench : benchmarks) {
         const BenchmarkProfile &profile =
             ProfileRegistry::byName(bench);
         for (const unsigned cores : core_counts) {
-            for (const std::string scheme :
-                 {"Baseline", "POM-TLB", "Shared_L2", "TSB"}) {
+            for (const std::string &scheme : schemes) {
                 SystemConfig system = SystemConfig::table1();
                 system.numCores = cores;
 
@@ -108,9 +118,11 @@ main(int argc, char **argv)
                 const JsonValue doc = buildGoldenDocument(
                     machine, result, profile.name);
 
-                const std::string path =
-                    out_dir + "/golden_" + bench + "_" + scheme +
-                    "_c" + std::to_string(cores) + ".json";
+                const std::string name = "golden_" + bench + "_" +
+                                         scheme + "_c" +
+                                         std::to_string(cores) +
+                                         ".json";
+                const std::string path = out_dir + "/" + name;
                 std::ofstream out(path);
                 if (!out) {
                     std::fprintf(stderr, "cannot open %s\n",
@@ -119,9 +131,44 @@ main(int argc, char **argv)
                 }
                 doc.write(out);
                 out << "\n";
+                fixtures.push_back(name);
                 std::printf("wrote %s\n", path.c_str());
             }
         }
     }
+
+    // The manifest records what this fixture set was generated
+    // against; test_golden_manifest.cc diffs it against the live
+    // registry and schema so stale fixtures fail with a
+    // regeneration hint rather than silently under-covering.
+    JsonValue manifest = JsonValue::object();
+    manifest.set("stats_schema", std::string(kStatsSchemaV1));
+    JsonValue scheme_list = JsonValue::array();
+    for (const std::string &scheme : schemes)
+        scheme_list.push(scheme);
+    manifest.set("schemes", std::move(scheme_list));
+    JsonValue bench_list = JsonValue::array();
+    for (const std::string &bench : benchmarks)
+        bench_list.push(bench);
+    manifest.set("benchmarks", std::move(bench_list));
+    JsonValue cores_list = JsonValue::array();
+    for (const unsigned cores : core_counts)
+        cores_list.push(std::uint64_t(cores));
+    manifest.set("core_counts", std::move(cores_list));
+    JsonValue fixture_list = JsonValue::array();
+    for (const std::string &name : fixtures)
+        fixture_list.push(name);
+    manifest.set("fixtures", std::move(fixture_list));
+
+    const std::string manifest_path = out_dir + "/MANIFEST.json";
+    std::ofstream out(manifest_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     manifest_path.c_str());
+        return 1;
+    }
+    manifest.write(out);
+    out << "\n";
+    std::printf("wrote %s\n", manifest_path.c_str());
     return 0;
 }
